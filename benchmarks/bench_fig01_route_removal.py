@@ -1,0 +1,18 @@
+"""Figure 1: natural connectivity decreases near-linearly as routes are removed."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig1_route_removal
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_fig1_route_removal(benchmark, city):
+    counts, values = benchmark.pedantic(
+        fig1_route_removal, args=(city,), rounds=1, iterations=1
+    )
+    diffs = np.diff(values)
+    # Shape: overwhelmingly non-increasing (estimator noise allows slack).
+    assert (diffs <= 1e-3).sum() >= 0.8 * len(diffs)
+    # Meaningful total drop.
+    assert values[0] - values[-1] > 0.01

@@ -1,0 +1,22 @@
+"""Figure 3: the connectivity increment is non-submodular but near-linear."""
+
+import pytest
+
+from repro.bench.figures import fig3_submodularity
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_fig3_submodularity(benchmark, city):
+    result = benchmark.pedantic(
+        fig3_submodularity, args=(city,), rounds=1, iterations=1
+    )
+    sizes = sorted(result)
+    # Shape: theta concentrated near zero — the linear sum is a good
+    # approximation (paper uses it as the ETA-Pre objective).
+    for size in sizes:
+        assert abs(result[size]["median"]) < 0.35
+    # Shape: non-submodularity — theta trends positive as sets grow
+    # (O_lambda(mu) > sum Delta(e) most of the time for large sets).
+    large = sizes[-2:]
+    assert sum(result[s]["median"] for s in large) >= -0.02
+    assert result[large[-1]]["median"] >= result[sizes[0]]["median"] - 0.05

@@ -1,0 +1,23 @@
+"""Figure 4: a minority of candidate edges carries most demand/connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig4_top_edges
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_fig4_top_edges(benchmark, city):
+    result = benchmark.pedantic(
+        fig4_top_edges, args=(city,), rounds=1, iterations=1
+    )
+    for key in ("demand", "delta"):
+        curve = np.asarray(result[key])
+        assert len(curve) > 10
+        # Sorted decreasing by construction; check concentration: the top
+        # 10% of edges carry a disproportionate share of the mass.
+        top = max(1, len(curve) // 10)
+        share = curve[:top].sum() / max(curve.sum(), 1e-12)
+        assert share > 0.15, f"{key}: top-10% share {share:.2f}"
+        # Steep head: first value well above the median.
+        assert curve[0] > 2.0 * np.median(curve)

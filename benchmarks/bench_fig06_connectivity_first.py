@@ -1,0 +1,19 @@
+"""Figure 6: connectivity-first discrete edges do not stitch into a route."""
+
+import pytest
+
+from repro.bench.figures import fig6_connectivity_first
+
+
+@pytest.mark.parametrize("city", ["chicago"])
+def test_fig6_connectivity_first(benchmark, city):
+    result = benchmark.pedantic(
+        fig6_connectivity_first, args=(city,), rounds=1, iterations=1
+    )
+    cf = result["connectivity_first"]
+    smooth = result["eta_pre"]
+    # Shape: the greedy edges scatter — stitching needs substantial
+    # connector travel and many turns, unlike the planned route.
+    assert cf.connector_km > 0.5 * cf.chosen_km
+    assert smooth.route is not None
+    assert cf.turns > smooth.route.turns

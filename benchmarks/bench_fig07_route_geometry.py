@@ -1,0 +1,27 @@
+"""Figures 7/8: planned-route visualization and weight extremes."""
+
+import pytest
+
+from repro.bench.figures import fig7_route_maps, fig8_weight_extremes
+from repro.bench.harness import BOROUGHS
+
+
+def test_fig7_route_maps(benchmark):
+    cities = ("chicago",) + BOROUGHS
+    results = benchmark.pedantic(
+        fig7_route_maps, args=(cities,), kwargs={"w": 0.5}, rounds=1, iterations=1
+    )
+    for city, res in results.items():
+        assert res.route is not None, city
+        assert res.route.n_stops >= 3
+
+
+def test_fig8_weight_extremes(benchmark):
+    results = benchmark.pedantic(
+        fig8_weight_extremes, args=("chicago",), rounds=1, iterations=1
+    )
+    demand_only, _ = results[1.0]
+    conn_only, _ = results[0.0]
+    # Shape: w=1 collects more raw demand; w=0 more raw connectivity.
+    assert demand_only.o_d >= conn_only.o_d - 1e-9
+    assert conn_only.o_lambda >= demand_only.o_lambda - 5e-3

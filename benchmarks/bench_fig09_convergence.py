@@ -1,0 +1,21 @@
+"""Figure 9: convergence of ETA vs ETA-Pre vs ETA-ALL."""
+
+import pytest
+
+from repro.bench.figures import fig9_convergence
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_fig9_convergence(benchmark, city):
+    runs = benchmark.pedantic(
+        fig9_convergence, args=(city,), rounds=1, iterations=1
+    )
+    # Shape: ETA-Pre reaches a comparable-or-better exact objective.
+    assert runs["eta-pre"].objective >= 0.5 * runs["eta"].objective
+    # Traces are monotone non-decreasing for every method.
+    for res in runs.values():
+        values = [v for _, v in res.trace]
+        assert values == sorted(values)
+    # ETA-Pre is far faster per run than the online variants.
+    assert runs["eta-pre"].runtime_s < runs["eta"].runtime_s
+    assert runs["eta-pre"].runtime_s < runs["eta-all"].runtime_s

@@ -1,0 +1,19 @@
+"""Figure 10: objective / demand / connectivity increments vs k."""
+
+import pytest
+
+from repro.bench.figures import fig10_k_increments
+
+
+@pytest.mark.parametrize("city", ["chicago"])
+def test_fig10_k_increments(benchmark, city):
+    results = benchmark.pedantic(
+        fig10_k_increments, args=(city,), rounds=1, iterations=1
+    )
+    ks = sorted(results)
+    objectives = [results[k].objective for k in ks]
+    # Shape: objective values drop as k grows (the Eq. 12 normalizers
+    # rise faster than the realized increments) — paper Sec. 7.3.2.
+    assert objectives[0] >= objectives[-1]
+    # Routes use more edges when k allows it.
+    assert results[ks[-1]].route.n_edges >= results[ks[0]].route.n_edges

@@ -1,0 +1,25 @@
+"""Figure 11: sensitivity to w, with AN / DT variant mutations."""
+
+import pytest
+
+from repro.bench.figures import fig11_weight_sensitivity
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_fig11_weight_sensitivity(benchmark, city):
+    results = benchmark.pedantic(
+        fig11_weight_sensitivity, args=(city,), rounds=1, iterations=1
+    )
+    weights = sorted({w for w, _ in results})
+    for w in weights:
+        base = results[(w, "eta-pre")]
+        an = results[(w, "eta-an")]
+        dt = results[(w, "eta-dt")]
+        # Shape: every variant converges to a positive score.
+        assert base.search_score > 0
+        # AN floods the queue relative to best-neighbor expansion.
+        assert an.queue_pushes >= base.queue_pushes
+        # Removing the domination table never prunes by domination.
+        assert dt.pruned_by_domination == 0
+        # Scores agree within a modest factor (robustness claim).
+        assert dt.search_score >= 0.5 * base.search_score

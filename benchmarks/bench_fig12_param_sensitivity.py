@@ -1,0 +1,21 @@
+"""Figure 12: sensitivity to k, Tn (turns), and sn (seeding number)."""
+
+import pytest
+
+from repro.bench.figures import fig12_param_sensitivity
+
+
+@pytest.mark.parametrize("city", ["chicago"])
+def test_fig12_param_sensitivity(benchmark, city):
+    results = benchmark.pedantic(
+        fig12_param_sensitivity, args=(city,), rounds=1, iterations=1
+    )
+    # Shape: all settings converge to a feasible positive-score route.
+    for (param, value), res in results.items():
+        assert res.route is not None, (param, value)
+        assert res.search_score > 0
+    # Larger turn budget never hurts the achievable score.
+    assert results[("Tn", 5)].search_score >= results[("Tn", 1)].search_score - 1e-9
+    # Seeding number has limited impact (robustness claim).
+    scores = [results[("sn", sn)].search_score for sn in (300, 1000, 3000)]
+    assert max(scores) <= 2.0 * min(scores) + 1e-9

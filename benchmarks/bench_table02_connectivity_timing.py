@@ -1,0 +1,23 @@
+"""Table 2: runtime of connectivity and bound estimation (paper-scale)."""
+
+import pytest
+
+from repro.bench.experiments import table2_connectivity_timing
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_table2_connectivity_timing(benchmark, city):
+    result = benchmark.pedantic(
+        table2_connectivity_timing, args=(city,), rounds=1, iterations=1
+    )
+    # Shape: Lanczos beats dense eigen by >= 2 orders of magnitude.
+    assert result["speedup_eigen_over_lanczos"] > 100
+    # Bound queries (given the one-off spectrum) are cheaper than even a
+    # single Lanczos estimate — that is what makes pruning free.
+    assert result["general_bound_s"] < result["lanczos_s"]
+    assert result["path_bound_s"] < result["lanczos_s"]
+    assert result["spectrum_s"] < result["eigen_s"]
+    # The estimate lands within a few percent of the exact value.
+    assert result["estimate_abs_error"] < 0.05
+    # Planar-graph spectral norm stays small (the Lemma 2 argument).
+    assert result["spectral_norm"] < 7.0

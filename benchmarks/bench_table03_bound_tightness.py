@@ -1,0 +1,20 @@
+"""Table 3: tightness ordering of the connectivity upper bounds."""
+
+import pytest
+
+from repro.bench.experiments import table3_bound_tightness
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_table3_bound_tightness(benchmark, city):
+    result = benchmark.pedantic(
+        table3_bound_tightness, args=(city,), rounds=1, iterations=1
+    )
+    # Shape: Estrada >> General > Path > Increment (paper's ordering).
+    assert result["estrada"] > result["general_increment"] + result["lambda_base"]
+    assert result["general_increment"] > result["path_increment"]
+    assert result["path_increment"] > result["increment_bound"]
+    # Estrada is wildly loose (useless as a normalizer). It scales with
+    # sqrt(|E_r|), so the paper's ~100x gap shrinks to ~10x at bench
+    # scale — still an order of magnitude.
+    assert result["estrada"] > 8 * (result["lambda_base"] + result["path_increment"])

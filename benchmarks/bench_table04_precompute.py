@@ -1,0 +1,18 @@
+"""Table 4: pre-computation cost on candidate new edges."""
+
+import pytest
+
+from repro.bench.experiments import table4_precompute
+
+
+@pytest.mark.parametrize("city", ["chicago", "nyc"])
+def test_table4_precompute(benchmark, city):
+    result = benchmark.pedantic(
+        table4_precompute, args=(city,), rounds=1, iterations=1
+    )
+    assert result["new_edges"] > 0
+    # Shape: the increments dominate pre-computation (the paper's
+    # motivation for doing them once, offline).
+    assert result["connectivity_s"] > 0
+    # The sketch ablation is faster than exact per-edge estimation.
+    assert result["total_sketch_s"] < result["total_exact_s"]

@@ -1,0 +1,14 @@
+"""Table 5: dataset overview (bench profile vs paper statistics)."""
+
+from repro.bench.experiments import table5_datasets
+
+
+def test_table5_datasets(benchmark):
+    result = benchmark.pedantic(table5_datasets, rounds=1, iterations=1)
+    chi, nyc = result["chicago"], result["nyc"]
+    # Shape: NYC is the bigger system on every axis, as in the paper.
+    for key in ("|R|", "|V|", "|V_r|", "|E|", "|E_r|", "|D|"):
+        assert nyc[key] > chi[key]
+    # Transit graphs are sparse: |E_r| ~ |V_r| (paper: 6892/6171, 13907/12340).
+    for stats in (chi, nyc):
+        assert stats["|E_r|"] < 2.0 * stats["|V_r|"]

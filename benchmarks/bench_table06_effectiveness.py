@@ -1,0 +1,49 @@
+"""Table 6: effectiveness of ETA / ETA-Pre / vk-TSP across six cities.
+
+The paper's headline comparison: connectivity-aware planning (ETA /
+ETA-Pre) should beat the demand-first baseline (vk-TSP) on connectivity
+increment and transfer convenience, at comparable objective values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import table6_effectiveness, table6_weight_sweep
+from repro.bench.harness import BOROUGHS
+
+
+def test_table6_effectiveness(benchmark):
+    results = benchmark.pedantic(
+        table6_effectiveness, args=(("chicago",) + BOROUGHS,), rounds=1, iterations=1
+    )
+    wins_conn = wins_transfer = total = 0
+    for city, methods in results.items():
+        pre_row = methods["eta-pre"]
+        vk_row = methods["vk-tsp"]
+        if pre_row is None or vk_row is None:
+            continue
+        total += 1
+        wins_conn += pre_row["connectivity"] >= vk_row["connectivity"]
+        wins_transfer += pre_row["transfers"] >= vk_row["transfers"] - 0.25
+        # ETA and ETA-Pre comparable (paper: "similar performance").
+        eta_row = methods["eta"]
+        if eta_row is not None:
+            assert pre_row["objective"] >= 0.4 * eta_row["objective"]
+    # Shape: connectivity-aware wins on a clear majority of cities.
+    assert wins_conn >= int(0.66 * total) + (total >= 3)
+    assert wins_transfer >= int(0.5 * total)
+
+
+def test_table6_weight_sweep(benchmark):
+    results = benchmark.pedantic(
+        table6_weight_sweep, args=("chicago",), rounds=1, iterations=1
+    )
+    # Shape: smaller w (more connectivity weight) => larger raw
+    # connectivity increment.
+    o_lambda = {w: res.o_lambda for w, (res, _ev) in results.items()}
+    assert o_lambda[0.0] >= o_lambda[0.7] - 1e-3
+    # And more crossed routes at w=0 than w=0.7.
+    crossed = {
+        w: (ev.crossed_routes if ev else 0) for w, (_res, ev) in results.items()
+    }
+    assert crossed[0.0] >= crossed[0.7] - 1

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every experiment registers its paper-vs-measured table with
+:func:`repro.bench.harness.report`; this hook dumps the registry into
+the terminal summary so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` captures all reproductions. Reports are also written
+as files under ``benchmarks/reports/``.
+"""
+
+import os
+
+os.environ.setdefault(
+    "REPRO_REPORT_DIR", os.path.join(os.path.dirname(__file__), "reports")
+)
+
+from repro.bench.harness import all_reports  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = all_reports()
+    if not reports:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "CT-Bus reproduction: paper tables & figures")
+    for name, text in reports.items():
+        tr.write_line("")
+        tr.write_sep("-", name)
+        for line in text.splitlines():
+            tr.write_line(line)

@@ -1,0 +1,85 @@
+"""Interactive constrained replanning (the paper's Insight 4 use case).
+
+Run with::
+
+    python examples/interactive_planning.py
+
+The paper argues pre-computation enables *interactive* planning: a
+human planner iterates on constraints while replans stay sub-second.
+This session demonstrates exactly that against one shared
+pre-computation:
+
+1. plan freely,
+2. anchor the route at a specific transfer hub,
+3. ban a corridor the city wants to keep bus-free,
+4. compare the three routes' quality and replan latency.
+"""
+
+import time
+
+from repro import CTBusPlanner, PlannerConfig, chicago_like
+from repro.core.constraints import PlanningConstraints
+from repro.eval.route_stats import route_stats
+from repro.utils.tables import format_table
+
+
+def describe(name, planner, result, elapsed):
+    stats = route_stats(planner.precomputation, result.route)
+    return [
+        name,
+        " ".join(str(s) for s in result.route.stops[:8]) + ("..." if result.route.n_stops > 8 else ""),
+        result.route.n_edges,
+        round(result.objective, 4),
+        round(stats.demand_share, 3),
+        f"{elapsed * 1000:.0f} ms",
+    ]
+
+
+def main() -> None:
+    dataset = chicago_like("small")
+    planner = CTBusPlanner(
+        dataset, PlannerConfig(k=14, max_iterations=1500, seed_count=400)
+    )
+
+    t0 = time.perf_counter()
+    _ = planner.precomputation
+    print(f"One-off pre-computation: {time.perf_counter() - t0:.2f} s "
+          "(amortized across every replan below)\n")
+
+    rows = []
+
+    t0 = time.perf_counter()
+    free = planner.plan("eta-pre")
+    rows.append(describe("free", planner, free, time.perf_counter() - t0))
+
+    # Constraint 1: the route must serve the busiest transfer hub.
+    transit = dataset.transit
+    hub = max(range(transit.n_stops), key=lambda s: len(transit.routes_at_stop(s)))
+    t0 = time.perf_counter()
+    anchored = planner.plan_constrained(PlanningConstraints(anchor_stop=hub))
+    rows.append(describe(f"anchor@{hub}", planner, anchored, time.perf_counter() - t0))
+
+    # Constraint 2: ban the free route's first corridor (e.g. roadworks).
+    banned_stops = set(free.route.stops[:3])
+    t0 = time.perf_counter()
+    rerouted = planner.plan_constrained(
+        PlanningConstraints(forbid_stops=banned_stops)
+    )
+    rows.append(describe(
+        f"ban stops {sorted(banned_stops)}", planner, rerouted,
+        time.perf_counter() - t0,
+    ))
+
+    print(format_table(
+        ["scenario", "stops", "#edges", "objective", "demand share", "replan"],
+        rows,
+        title="interactive replanning session (shared pre-computation)",
+    ))
+    assert hub in anchored.route.stops
+    assert not banned_stops & set(rerouted.route.stops)
+    print("\nEvery constrained replan ran in milliseconds — the "
+          "interactivity the paper's pre-computation buys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: plan one new bus route on a synthetic Chicago-like city.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full CT-Bus pipeline: build a city (road network + transit
+network + taxi trips), pre-compute candidate edges and per-edge
+connectivity increments, plan a route with ETA-Pre, and report both the
+paper's objective terms and the transfer-convenience metrics.
+"""
+
+from repro import CTBusPlanner, PlannerConfig, chicago_like
+from repro.eval import evaluate_planned_route
+
+
+def main() -> None:
+    print("Building a Chicago-like city (small profile)...")
+    dataset = chicago_like("small")
+    for key, value in dataset.stats().items():
+        print(f"  {key:>14}: {value}")
+
+    config = PlannerConfig(
+        k=20,            # at most 20 edges in the new route
+        w=0.5,           # balance demand and connectivity equally
+        tau_km=0.5,      # new edges only between stops within 500 m
+        max_turns=3,     # the paper's Tn
+        max_iterations=2000,
+    )
+    planner = CTBusPlanner(dataset, config)
+
+    print("\nPre-computing candidate edges and connectivity increments...")
+    pre = planner.precomputation
+    print(f"  candidate new edges : {pre.n_candidate_edges}")
+    print(f"  lambda(G_r)         : {pre.lambda_base:.4f}")
+    print(f"  d_max / lambda_max  : {pre.d_max:.1f} / {pre.lambda_max:.5f}")
+
+    print("\nPlanning with ETA-Pre...")
+    result = planner.plan("eta-pre")
+    route = result.route
+    print(f"  stops               : {route.stops}")
+    print(f"  edges (new)         : {route.n_edges} ({route.n_new_edges} new)")
+    print(f"  length              : {route.length_km:.2f} km, {route.turns} turns")
+    print(f"  objective O(mu)     : {result.objective:.4f}")
+    print(f"  demand met O_d      : {result.o_d:.1f}")
+    print(f"  connectivity O_l    : {result.o_lambda:.5f}")
+    print(f"  planned in          : {result.runtime_s*1000:.1f} ms, "
+          f"{result.iterations} iterations")
+
+    print("\nTransfer convenience for commuters along the new route:")
+    ev = evaluate_planned_route(
+        pre, route,
+        objective=result.objective,
+        o_lambda_normalized=result.o_lambda_normalized,
+    )
+    for key, value in ev.as_row().items():
+        print(f"  {key:>20}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (which build an editable wheel)
+fail. Keeping a ``setup.py`` lets ``pip install -e . --no-build-isolation``
+fall back to ``setup.py develop``, which works fully offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

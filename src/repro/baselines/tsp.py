@@ -1,0 +1,123 @@
+"""Small TSP toolkit for ordering discrete edges into a tour.
+
+The connectivity-first baseline picks ``l`` discrete edges and must
+visit them in *some* order to stitch a route; the paper uses a
+travelling-salesman search for that ordering. Sizes are tiny (l <= ~15)
+so nearest-neighbor + 2-opt suffices, with exact Held-Karp available for
+validation on very small instances.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def _check_matrix(dist: np.ndarray) -> np.ndarray:
+    dist = np.asarray(dist, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError(f"distance matrix must be square, got {dist.shape}")
+    return dist
+
+
+def tour_length(dist: np.ndarray, order: Sequence[int], closed: bool = False) -> float:
+    """Length of the path visiting ``order`` (optionally returning home)."""
+    dist = _check_matrix(dist)
+    total = sum(dist[order[i], order[i + 1]] for i in range(len(order) - 1))
+    if closed and len(order) > 1:
+        total += dist[order[-1], order[0]]
+    return float(total)
+
+
+def nearest_neighbor_order(dist: np.ndarray, start: int = 0) -> list[int]:
+    """Greedy nearest-neighbor visiting order (open path)."""
+    dist = _check_matrix(dist)
+    n = dist.shape[0]
+    if n == 0:
+        return []
+    if not 0 <= start < n:
+        raise ValidationError(f"start {start} out of range for {n} nodes")
+    unvisited = set(range(n))
+    unvisited.discard(start)
+    order = [start]
+    while unvisited:
+        last = order[-1]
+        nxt = min(unvisited, key=lambda j: dist[last, j])
+        unvisited.discard(nxt)
+        order.append(nxt)
+    return order
+
+
+def two_opt(dist: np.ndarray, order: Sequence[int], max_rounds: int = 50) -> list[int]:
+    """2-opt improvement on an open path until no improving swap remains."""
+    dist = _check_matrix(dist)
+    best = list(order)
+    n = len(best)
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 2):
+            for j in range(i + 2, n):
+                a, b = best[i], best[i + 1]
+                c = best[j]
+                d = best[j + 1] if j + 1 < n else None
+                removed = dist[a, b] + (dist[c, d] if d is not None else 0.0)
+                added = dist[a, c] + (dist[b, d] if d is not None else 0.0)
+                if added + 1e-12 < removed:
+                    best[i + 1 : j + 1] = reversed(best[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return best
+
+
+def held_karp_order(dist: np.ndarray) -> list[int]:
+    """Exact minimum open path by Held-Karp DP (n <= 12 enforced)."""
+    dist = _check_matrix(dist)
+    n = dist.shape[0]
+    if n == 0:
+        return []
+    if n > 12:
+        raise ValidationError(f"Held-Karp limited to 12 nodes, got {n}")
+    if n == 1:
+        return [0]
+    full = (1 << n) - 1
+    # dp[(mask, last)] = (cost, prev)
+    dp: dict[tuple[int, int], tuple[float, int]] = {}
+    for v in range(n):
+        dp[(1 << v, v)] = (0.0, -1)
+    for mask in range(1, full + 1):
+        for last in range(n):
+            if not mask & (1 << last):
+                continue
+            entry = dp.get((mask, last))
+            if entry is None:
+                continue
+            cost, _ = entry
+            for nxt in range(n):
+                if mask & (1 << nxt):
+                    continue
+                new_mask = mask | (1 << nxt)
+                new_cost = cost + dist[last, nxt]
+                old = dp.get((new_mask, nxt))
+                if old is None or new_cost < old[0]:
+                    dp[(new_mask, nxt)] = (new_cost, last)
+    end, (best_cost, _) = min(
+        ((v, dp[(full, v)]) for v in range(n) if (full, v) in dp),
+        key=lambda item: item[1][0],
+    )
+    order = [end]
+    mask = full
+    while True:
+        _, prev = dp[(mask, order[-1])]
+        if prev == -1:
+            break
+        mask ^= 1 << order[-1]
+        order.append(prev)
+    order.reverse()
+    if math.isinf(best_cost):  # pragma: no cover - defensive
+        raise ValidationError("no finite Held-Karp tour")
+    return order

@@ -1,0 +1,24 @@
+"""Benchmark harness: experiment runners for every paper table and figure.
+
+``benchmarks/`` wires these into pytest-benchmark; the same functions are
+importable for ad-hoc use::
+
+    from repro.bench import experiments, harness
+    rows = experiments.table6_effectiveness(["chicago"])
+"""
+
+from repro.bench.harness import (
+    BENCH_ETA_ITERATIONS,
+    bench_config,
+    get_dataset,
+    get_precomputation,
+    report,
+)
+
+__all__ = [
+    "BENCH_ETA_ITERATIONS",
+    "bench_config",
+    "get_dataset",
+    "get_precomputation",
+    "report",
+]

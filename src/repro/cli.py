@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``    print dataset statistics (Table 5 style).
+``plan``     plan a route on a canned city and print route + metrics.
+``removal``  the Figure 1 analysis: connectivity under route removal.
+``bounds``   evaluate the three upper bounds on a city (Table 3 style).
+
+Examples::
+
+    python -m repro stats --city chicago --profile small
+    python -m repro plan --city bronx --method eta-pre --k 16 --w 0.3
+    python -m repro removal --city nyc --profile small
+    python -m repro bounds --city chicago --k 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import PlannerConfig
+from repro.core.planner import METHODS, CTBusPlanner
+from repro.data.datasets import borough_like, chicago_like, list_profiles, nyc_like
+from repro.eval.metrics import evaluate_planned_route
+from repro.spectral.bounds import (
+    estrada_upper_bound,
+    general_upper_bound,
+    path_upper_bound,
+)
+from repro.spectral.connectivity import NaturalConnectivityEstimator
+from repro.spectral.eigs import top_k_eigenvalues
+from repro.utils.tables import format_series, format_table
+
+CITY_CHOICES = (
+    "chicago", "nyc", "manhattan", "queens", "brooklyn", "staten_island", "bronx",
+)
+
+
+def _load_city(name: str, profile: str):
+    if name == "chicago":
+        return chicago_like(profile)
+    if name == "nyc":
+        return nyc_like(profile)
+    return borough_like(name, profile)
+
+
+def _add_city_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", choices=CITY_CHOICES, default="chicago")
+    parser.add_argument("--profile", choices=list_profiles(), default="small")
+
+
+def _cmd_stats(args) -> int:
+    ds = _load_city(args.city, args.profile)
+    rows = [[k, v] for k, v in ds.stats().items()]
+    print(format_table(["stat", "value"], rows, title=f"{ds.name}"))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    ds = _load_city(args.city, args.profile)
+    config = PlannerConfig(
+        k=args.k,
+        w=args.w,
+        tau_km=args.tau,
+        max_turns=args.turns,
+        max_iterations=args.iterations,
+    )
+    planner = CTBusPlanner(ds, config)
+    result = planner.plan(args.method)
+    if result.route is None:
+        print("no feasible route found")
+        return 1
+    route = result.route
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["method", result.method],
+            ["stops", " -> ".join(str(s) for s in route.stops)],
+            ["#edges (#new)", f"{route.n_edges} ({route.n_new_edges})"],
+            ["length (km)", round(route.length_km, 2)],
+            ["turns", route.turns],
+            ["objective O(mu)", round(result.objective, 4)],
+            ["demand O_d", round(result.o_d, 1)],
+            ["connectivity O_lambda", round(result.o_lambda, 5)],
+            ["iterations", result.iterations],
+            ["runtime (s)", round(result.runtime_s, 3)],
+        ],
+        title=f"planned route on {ds.name}",
+    ))
+    if args.evaluate:
+        ev = evaluate_planned_route(
+            planner.precomputation, route,
+            objective=result.objective,
+            o_lambda_normalized=result.o_lambda_normalized,
+        )
+        print()
+        print(format_table(
+            ["metric", "value"],
+            list(ev.as_row().items()),
+            title="transfer convenience",
+        ))
+    return 0
+
+
+def _cmd_removal(args) -> int:
+    ds = _load_city(args.city, args.profile)
+    transit = ds.transit
+    estimator = NaturalConnectivityEstimator(transit.n_stops)
+    step = max(transit.n_routes // args.points, 1)
+    xs, ys = [], []
+    for removed in range(0, transit.n_routes - 1, step):
+        reduced = transit.without_routes(set(range(removed)))
+        xs.append(removed)
+        ys.append(estimator.estimate(reduced.adjacency()))
+    print(format_series(
+        xs, ys, "#removed routes", "natural connectivity",
+        title=f"route removal on {ds.name} (Figure 1)",
+    ))
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    ds = _load_city(args.city, args.profile)
+    A = ds.transit.adjacency()
+    n = ds.transit.n_stops
+    estimator = NaturalConnectivityEstimator(n)
+    lam = estimator.estimate(A)
+    eigs = top_k_eigenvalues(A, max(2 * args.k, 1))
+    print(format_table(
+        ["bound", "value", "increment over lambda"],
+        [
+            ["lambda(G_r) (estimated)", round(lam, 4), "-"],
+            ["Estrada [25]",
+             round(estrada_upper_bound(n, ds.transit.n_edges + args.k), 4), "-"],
+            ["General (Lemma 3)",
+             round(general_upper_bound(lam, eigs, n, args.k), 4),
+             round(general_upper_bound(lam, eigs, n, args.k) - lam, 4)],
+            ["Path (Lemma 4)",
+             round(path_upper_bound(lam, eigs, n, args.k), 4),
+             round(path_upper_bound(lam, eigs, n, args.k) - lam, 4)],
+        ],
+        title=f"connectivity upper bounds on {ds.name}, k={args.k}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CT-Bus: demand- and connectivity-aware bus route planning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print dataset statistics")
+    _add_city_args(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_plan = sub.add_parser("plan", help="plan a new bus route")
+    _add_city_args(p_plan)
+    p_plan.add_argument("--method", choices=METHODS, default="eta-pre")
+    p_plan.add_argument("--k", type=int, default=20)
+    p_plan.add_argument("--w", type=float, default=0.5)
+    p_plan.add_argument("--tau", type=float, default=0.5)
+    p_plan.add_argument("--turns", type=int, default=3)
+    p_plan.add_argument("--iterations", type=int, default=2000)
+    p_plan.add_argument("--evaluate", action="store_true",
+                        help="also compute transfer-convenience metrics")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
+    _add_city_args(p_removal)
+    p_removal.add_argument("--points", type=int, default=10)
+    p_removal.set_defaults(func=_cmd_removal)
+
+    p_bounds = sub.add_parser("bounds", help="Table 3 bound comparison")
+    _add_city_args(p_bounds)
+    p_bounds.add_argument("--k", type=int, default=15)
+    p_bounds.set_defaults(func=_cmd_bounds)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

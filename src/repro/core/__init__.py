@@ -1,0 +1,60 @@
+"""CT-Bus core: the paper's primary contribution.
+
+Problem: plan one new bus route with at most ``k`` edges over an
+existing transit network (no new stops) maximizing
+``w * O_d/d_max + (1 - w) * O_lambda/lambda_max`` (Definition 6).
+
+Entry points:
+
+* :class:`~repro.core.planner.CTBusPlanner` — facade over all variants,
+* :func:`~repro.core.precompute.precompute` — the shared pre-computation,
+* :func:`~repro.core.eta.run_eta` / :func:`~repro.core.eta_pre.run_eta_pre`
+  — the two planners of Sections 4-6.
+"""
+
+from repro.core.bounds import RankedList, initial_bound, rescan_bound, update_bound
+from repro.core.candidate import Candidate, seed_candidate
+from repro.core.config import PlannerConfig
+from repro.core.constraints import PlanningConstraints
+from repro.core.edges import EdgeUniverse, PlanEdge
+from repro.core.eta import ExpansionEngine, run_eta, run_eta_all
+from repro.core.eta_pre import run_eta_pre
+from repro.core.objective import OnlineStrategy, PrecomputedStrategy
+from repro.core.planner import METHODS, CTBusPlanner
+from repro.core.precompute import (
+    Precomputation,
+    compute_edge_increments,
+    precompute,
+    rebind,
+)
+from repro.core.result import PlannedRoute, PlanResult
+from repro.core.seeding import build_edge_universe, candidate_stop_pairs
+
+__all__ = [
+    "RankedList",
+    "initial_bound",
+    "rescan_bound",
+    "update_bound",
+    "Candidate",
+    "seed_candidate",
+    "PlannerConfig",
+    "PlanningConstraints",
+    "EdgeUniverse",
+    "PlanEdge",
+    "ExpansionEngine",
+    "run_eta",
+    "run_eta_all",
+    "run_eta_pre",
+    "OnlineStrategy",
+    "PrecomputedStrategy",
+    "METHODS",
+    "CTBusPlanner",
+    "Precomputation",
+    "compute_edge_increments",
+    "precompute",
+    "rebind",
+    "PlannedRoute",
+    "PlanResult",
+    "build_edge_universe",
+    "candidate_stop_pairs",
+]

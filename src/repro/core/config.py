@@ -1,0 +1,108 @@
+"""Planner configuration (the paper's tunable parameters).
+
+Defaults follow the paper's experimental setup (Section 7.1.4):
+``k = 30``, ``w = 0.5``, ``tau = 0.5 km``, ``Tn = 3``, ``sn = 5000``,
+Hutchinson ``s = 50`` probes with ``t = 10`` Lanczos steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import require, require_in_range, require_positive
+
+EXPANSION_BEST = "best"
+"""Expand with the best begin/end neighbor only (Alg. 1 as written)."""
+
+EXPANSION_ALL = "all"
+"""Enqueue every neighbor extension (the ETA-AN variant)."""
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """All knobs of the CT-Bus planners.
+
+    Attributes
+    ----------
+    k:
+        Maximum number of edges in the planned route.
+    w:
+        Demand-vs-connectivity weight in ``[0, 1]``; ``w = 1`` is the
+        demand-first baseline, ``w = 0`` connectivity-only.
+    tau_km:
+        Maximum straight-line stop distance for a *new* edge (paper 0.5).
+    max_turns:
+        Turn budget ``Tn``.
+    seed_count:
+        Selective-seeding size ``sn``: how many top-``L_e`` edges seed the
+        queue (``None`` = all edges, the ETA-ALL variant).
+    max_iterations:
+        Expansion-iteration cap ``it_max``.
+    expansion:
+        ``"best"`` (Alg. 1) or ``"all"`` (ETA-AN).
+    queue_discipline:
+        ``"bound"`` — priority queue ordered by the objective upper
+        bound (Alg. 1); ``"fifo"`` — breadth-first scanning, the
+        classical expansion framework [58] that ETA-ALL emulates.
+    use_domination:
+        Keep the domination table (disable for the ETA-DT ablation).
+    new_edges_only:
+        Restrict seeding/expansion to new edges (the vk-TSP baseline).
+    n_probes / lanczos_steps:
+        Hutchinson repetitions ``s`` and Lanczos iterations ``t``.
+    increment_mode:
+        Per-edge ``Delta(e)`` pre-computation: ``"exact"`` re-estimates
+        each extended graph; ``"sketch"`` uses the low-rank ``e^A`` sketch
+        (fast mode, see :mod:`repro.spectral.sketch`).
+    allow_loop:
+        Permit the final edge to close a one-way loop (paper footnote 4).
+    record_every:
+        Convergence-trace granularity in iterations.
+    seed:
+        Seed for probe vectors and any tie-breaking randomness.
+    """
+
+    k: int = 30
+    w: float = 0.5
+    tau_km: float = 0.5
+    max_turns: int = 3
+    seed_count: "int | None" = 5000
+    max_iterations: int = 2000
+    expansion: str = EXPANSION_BEST
+    queue_discipline: str = "bound"
+    use_domination: bool = True
+    new_edges_only: bool = False
+    n_probes: int = 50
+    lanczos_steps: int = 10
+    increment_mode: str = "exact"
+    allow_loop: bool = True
+    record_every: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.k >= 1, f"k must be >= 1, got {self.k}")
+        require_in_range(self.w, 0.0, 1.0, "w")
+        require_positive(self.tau_km, "tau_km")
+        require(self.max_turns >= 0, f"max_turns must be >= 0, got {self.max_turns}")
+        require(self.max_iterations >= 1, "max_iterations must be >= 1")
+        require(
+            self.expansion in (EXPANSION_BEST, EXPANSION_ALL),
+            f"expansion must be 'best' or 'all', got {self.expansion!r}",
+        )
+        require(
+            self.increment_mode in ("exact", "sketch"),
+            f"increment_mode must be 'exact' or 'sketch', got {self.increment_mode!r}",
+        )
+        require(
+            self.queue_discipline in ("bound", "fifo"),
+            f"queue_discipline must be 'bound' or 'fifo', got {self.queue_discipline!r}",
+        )
+        if self.seed_count is not None:
+            require(self.seed_count >= 1, "seed_count must be >= 1 or None")
+        require_positive(self.n_probes, "n_probes")
+        require_positive(self.lanczos_steps, "lanczos_steps")
+        require_positive(self.record_every, "record_every")
+
+    def variant(self, **overrides) -> "PlannerConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,114 @@
+"""The edge universe: existing transit edges + candidate new edges.
+
+ETA searches over a unified edge set (Section 4.2.1): every existing
+transit edge plus every *potential* edge joining two stops within
+``tau``. :class:`EdgeUniverse` gives each a dense index carrying demand,
+length, geometry, and (after pre-computation) the connectivity increment
+``Delta(e)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.transit import TransitNetwork
+from repro.utils.errors import GraphError
+
+
+@dataclass(frozen=True)
+class PlanEdge:
+    """One edge of the planning universe.
+
+    ``is_new`` distinguishes candidate edges (which change the adjacency
+    matrix when used) from existing transit edges (which do not).
+    """
+
+    index: int
+    u: int
+    v: int
+    length: float
+    demand: float
+    is_new: bool
+    transit_eid: int = -1
+    road_path: tuple[int, ...] = ()
+
+    def other(self, stop: int) -> int:
+        """The endpoint opposite to ``stop``."""
+        if stop == self.u:
+            return self.v
+        if stop == self.v:
+            return self.u
+        raise GraphError(f"stop {stop} is not an endpoint of edge {self.index}")
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+
+class EdgeUniverse:
+    """Dense-indexed edge set with per-stop incidence lists."""
+
+    def __init__(self, transit: TransitNetwork, edges: list[PlanEdge]):
+        self.transit = transit
+        self.edges = edges
+        self.n_stops = transit.n_stops
+        self.by_stop: list[list[int]] = [[] for _ in range(self.n_stops)]
+        for e in edges:
+            self.by_stop[e.u].append(e.index)
+            self.by_stop[e.v].append(e.index)
+        self.demand = np.asarray([e.demand for e in edges], dtype=float)
+        self.length = np.asarray([e.length for e in edges], dtype=float)
+        self.is_new = np.asarray([e.is_new for e in edges], dtype=bool)
+        #: Connectivity increments Delta(e); zero until pre-computation
+        #: fills the new-edge entries (existing edges stay zero, Sec. 6.2).
+        self.delta = np.zeros(len(edges), dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_new_edges(self) -> int:
+        return int(self.is_new.sum())
+
+    @property
+    def n_existing_edges(self) -> int:
+        return len(self.edges) - self.n_new_edges
+
+    def edge(self, index: int) -> PlanEdge:
+        return self.edges[index]
+
+    def incident(self, stop: int) -> list[int]:
+        """Universe edge indices incident to ``stop``."""
+        if not 0 <= stop < self.n_stops:
+            raise GraphError(f"unknown stop {stop}")
+        return self.by_stop[stop]
+
+    def new_pairs(self, edge_indices) -> list[tuple[int, int]]:
+        """Stop pairs of the *new* edges among ``edge_indices``.
+
+        These are the pairs that extend the adjacency matrix when the
+        path is added to the network.
+        """
+        out = []
+        for i in edge_indices:
+            e = self.edges[i]
+            if e.is_new:
+                out.append(e.pair)
+        return out
+
+    def set_deltas(self, values: np.ndarray) -> None:
+        """Install pre-computed connectivity increments (aligned by index)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.delta.shape:
+            raise GraphError(
+                f"delta array shape {values.shape} != universe size {self.delta.shape}"
+            )
+        self.delta = values
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeUniverse(existing={self.n_existing_edges}, "
+            f"new={self.n_new_edges})"
+        )

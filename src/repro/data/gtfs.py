@@ -1,0 +1,99 @@
+"""GTFS-lite: load/store transit networks as a GTFS-style directory.
+
+Covers the subset of the General Transit Feed Specification needed to
+reconstruct a :class:`~repro.network.transit.TransitNetwork`:
+``stops.txt``, ``routes.txt``, ``trips.txt``, ``stop_times.txt``. One
+representative trip per route defines its stop sequence (real feeds list
+many trips per route; the first is taken). Coordinates are stored in the
+``stop_lon``/``stop_lat`` columns using the network's planar km frame —
+real feeds in degrees load fine, just keep the frame consistent.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.network.transit import TransitNetwork
+from repro.utils.errors import DataError
+
+_FILES = ("stops.txt", "routes.txt", "trips.txt", "stop_times.txt")
+
+
+def write_gtfs(transit: TransitNetwork, directory: str) -> None:
+    """Write ``transit`` as a GTFS-lite directory (creates it if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "stops.txt"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["stop_id", "stop_name", "stop_lon", "stop_lat"])
+        for s in range(transit.n_stops):
+            x, y = transit.stop_xy(s)
+            w.writerow([s, f"stop-{s}", f"{x:.6f}", f"{y:.6f}"])
+    with open(os.path.join(directory, "routes.txt"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["route_id", "route_short_name", "route_type"])
+        for r in transit.routes:
+            w.writerow([r.route_id, r.name, 3])  # 3 = bus
+    with open(os.path.join(directory, "trips.txt"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["route_id", "trip_id"])
+        for r in transit.routes:
+            w.writerow([r.route_id, f"trip-{r.route_id}"])
+    with open(os.path.join(directory, "stop_times.txt"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["trip_id", "stop_sequence", "stop_id"])
+        for r in transit.routes:
+            for seq, stop in enumerate(r.stops):
+                w.writerow([f"trip-{r.route_id}", seq, stop])
+
+
+def read_gtfs(directory: str) -> TransitNetwork:
+    """Load a GTFS-lite directory into a transit network.
+
+    Stop ids are remapped densely in file order; each route's stop
+    sequence comes from its first trip's ``stop_times`` rows ordered by
+    ``stop_sequence``.
+    """
+    for name in _FILES:
+        if not os.path.exists(os.path.join(directory, name)):
+            raise DataError(f"GTFS directory {directory!r} is missing {name}")
+
+    transit = TransitNetwork()
+    stop_index: dict[str, int] = {}
+    with open(os.path.join(directory, "stops.txt"), newline="") as f:
+        for row in csv.DictReader(f):
+            sid = transit.add_stop(float(row["stop_lon"]), float(row["stop_lat"]))
+            stop_index[row["stop_id"]] = sid
+
+    route_names: dict[str, str] = {}
+    with open(os.path.join(directory, "routes.txt"), newline="") as f:
+        for row in csv.DictReader(f):
+            route_names[row["route_id"]] = row.get("route_short_name") or row["route_id"]
+
+    first_trip: dict[str, str] = {}
+    with open(os.path.join(directory, "trips.txt"), newline="") as f:
+        for row in csv.DictReader(f):
+            first_trip.setdefault(row["route_id"], row["trip_id"])
+
+    sequences: dict[str, list[tuple[int, str]]] = {}
+    with open(os.path.join(directory, "stop_times.txt"), newline="") as f:
+        for row in csv.DictReader(f):
+            sequences.setdefault(row["trip_id"], []).append(
+                (int(row["stop_sequence"]), row["stop_id"])
+            )
+
+    for route_id, name in route_names.items():
+        trip_id = first_trip.get(route_id)
+        if trip_id is None or trip_id not in sequences:
+            continue
+        ordered = [sid for _, sid in sorted(sequences[trip_id])]
+        stops: list[int] = []
+        for raw in ordered:
+            if raw not in stop_index:
+                raise DataError(f"stop_times references unknown stop {raw!r}")
+            sid = stop_index[raw]
+            if not stops or stops[-1] != sid:
+                stops.append(sid)
+        if len(stops) >= 2:
+            transit.add_route(name, stops)
+    return transit

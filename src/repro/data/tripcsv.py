@@ -1,0 +1,49 @@
+"""Taxi-trip CSV IO (the shape of the NYC TLC / Chicago open-data dumps).
+
+Columns: ``pickup_vertex, dropoff_vertex, distance_km, duration_min``.
+Vertex ids reference a road network the caller already has (the
+real-world pipeline would first snap lon/lat to vertices; our synthetic
+trips are vertex-anchored from the start).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.trajectory.trips import TripRecord
+from repro.utils.errors import DataError
+
+_HEADER = ["pickup_vertex", "dropoff_vertex", "distance_km", "duration_min"]
+
+
+def write_trips_csv(trips: list[TripRecord], path: str) -> None:
+    """Write trip records to ``path``."""
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(_HEADER)
+        for t in trips:
+            w.writerow([t.pickup_vertex, t.dropoff_vertex,
+                        f"{t.distance_km:.6f}", f"{t.duration_min:.6f}"])
+
+
+def read_trips_csv(path: str) -> list[TripRecord]:
+    """Read trip records from ``path``."""
+    if not os.path.exists(path):
+        raise DataError(f"no such trip file: {path}")
+    out: list[TripRecord] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        missing = [c for c in _HEADER if c not in (reader.fieldnames or [])]
+        if missing:
+            raise DataError(f"trip CSV {path!r} missing columns: {missing}")
+        for row in reader:
+            out.append(
+                TripRecord(
+                    pickup_vertex=int(row["pickup_vertex"]),
+                    dropoff_vertex=int(row["dropoff_vertex"]),
+                    distance_km=float(row["distance_km"]),
+                    duration_min=float(row["duration_min"]),
+                )
+            )
+    return out

@@ -1,0 +1,43 @@
+"""Table 6-style effectiveness reporting."""
+
+from __future__ import annotations
+
+from repro.core.precompute import Precomputation
+from repro.core.result import PlanResult
+from repro.eval.metrics import RouteEvaluation, evaluate_planned_route
+from repro.utils.tables import format_table
+
+
+def effectiveness_row(pre: Precomputation, result: PlanResult) -> "RouteEvaluation | None":
+    """Evaluate one planner result into a Table 6 row (None if no route)."""
+    if result.route is None:
+        return None
+    return evaluate_planned_route(
+        pre,
+        result.route,
+        objective=result.objective,
+        o_lambda_normalized=result.o_lambda_normalized,
+    )
+
+
+def format_effectiveness_table(
+    rows: dict[str, "RouteEvaluation | None"], title: str = "Effectiveness"
+) -> str:
+    """Render named evaluations as an aligned comparison table."""
+    headers = [
+        "method",
+        "#new edges",
+        "objective",
+        "connectivity",
+        "#transfers avoided",
+        "distance ratio",
+        "#crossed routes",
+    ]
+    body = []
+    for name, ev in rows.items():
+        if ev is None:
+            body.append([name] + ["-"] * (len(headers) - 1))
+        else:
+            row = ev.as_row()
+            body.append([name] + [row[h] for h in headers[1:]])
+    return format_table(headers, body, title=title)

@@ -1,0 +1,85 @@
+"""Route diagnostics beyond the paper's three headline metrics.
+
+Planning teams evaluating a proposed route ask more than "objective
+value": how much of the city's unmet demand does it absorb, how much
+does it duplicate existing service, is its geometry plausible for a bus.
+These diagnostics are consumed by the examples and the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.precompute import Precomputation
+from repro.core.result import PlannedRoute
+from repro.network.geometry import euclidean
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """Descriptive statistics of one planned route."""
+
+    demand_share: float
+    """Fraction of total candidate-universe demand the route serves."""
+    duplication_share: float
+    """Fraction of route length running on *existing* transit edges."""
+    mean_stop_spacing_km: float
+    """Average stop-to-stop distance (paper: real spacing ~0.3-0.5 km)."""
+    straightness: float
+    """End-to-end displacement over route length, in (0, 1]; loops -> 0."""
+    new_edge_gap_km: float
+    """Largest straight-line gap bridged by a new edge (<= tau)."""
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "demand share": round(self.demand_share, 4),
+            "duplication share": round(self.duplication_share, 4),
+            "mean stop spacing (km)": round(self.mean_stop_spacing_km, 3),
+            "straightness": round(self.straightness, 3),
+            "max new-edge gap (km)": round(self.new_edge_gap_km, 3),
+        }
+
+
+def route_stats(pre: Precomputation, route: PlannedRoute) -> RouteStats:
+    """Compute :class:`RouteStats` for ``route`` under ``pre``."""
+    if route.n_edges == 0:
+        raise ValidationError("route has no edges")
+    universe = pre.universe
+    coords = universe.transit.stop_coords
+
+    ids = list(route.edge_indices)
+    route_demand = float(universe.demand[ids].sum())
+    total_demand = float(universe.demand.sum())
+    demand_share = route_demand / total_demand if total_demand > 0 else 0.0
+
+    lengths = universe.length[ids]
+    existing_mask = ~universe.is_new[ids]
+    total_len = float(lengths.sum())
+    duplication = float(lengths[existing_mask].sum()) / total_len if total_len else 0.0
+
+    spacing = [
+        euclidean(coords[a], coords[b])
+        for a, b in zip(route.stops, route.stops[1:])
+    ]
+    mean_spacing = float(np.mean(spacing)) if spacing else 0.0
+
+    displacement = euclidean(coords[route.stops[0]], coords[route.stops[-1]])
+    straightness = displacement / total_len if total_len > 0 else 0.0
+
+    gaps = [
+        euclidean(coords[universe.edge(i).u], coords[universe.edge(i).v])
+        for i in ids
+        if universe.is_new[i]
+    ]
+    max_gap = float(max(gaps)) if gaps else 0.0
+
+    return RouteStats(
+        demand_share=demand_share,
+        duplication_share=duplication,
+        mean_stop_spacing_km=mean_spacing,
+        straightness=straightness,
+        new_edge_gap_km=max_gap,
+    )

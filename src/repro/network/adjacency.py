@@ -1,0 +1,130 @@
+"""Sparse adjacency matrices with cheap "what if we add these edges" views.
+
+Natural-connectivity estimation consumes the unweighted symmetric
+adjacency matrix of the transit network (Eq. 1/5). During ETA's search,
+thousands of candidate paths each need the adjacency of ``G_r`` plus a
+handful of new edges; :class:`AdjacencyBuilder` caches the base matrix in
+COO form so each extension is a small concatenate + CSR build instead of
+a full graph copy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import GraphError
+
+
+def adjacency_matrix(n: int, edges: Iterable[tuple[int, int]]) -> sp.csr_matrix:
+    """Unweighted symmetric adjacency matrix for ``edges`` over ``n`` vertices."""
+    rows: list[int] = []
+    cols: list[int] = []
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) out of range for {n} vertices")
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {v}) not allowed")
+        rows.extend((u, v))
+        cols.extend((v, u))
+    data = np.ones(len(rows), dtype=float)
+    mat = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    # Collapse duplicates to weight 1 (adjacency is unweighted).
+    mat.data[:] = 1.0
+    return mat
+
+
+class AdjacencyBuilder:
+    """Base adjacency in COO form + cheap extended views.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Base undirected edges as ``(u, v)`` pairs.
+    """
+
+    def __init__(self, n: int, edges: Sequence[tuple[int, int]]):
+        self.n = int(n)
+        rows: list[int] = []
+        cols: list[int] = []
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for {n} vertices")
+            key = (u, v) if u < v else (v, u)
+            if key in seen or u == v:
+                continue
+            seen.add(key)
+            rows.extend((u, v))
+            cols.extend((v, u))
+        self._edge_set = seen
+        self._rows = np.asarray(rows, dtype=np.int32)
+        self._cols = np.asarray(cols, dtype=np.int32)
+        self._base: sp.csr_matrix | None = None
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edge_set)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_set
+
+    def base(self) -> sp.csr_matrix:
+        """The adjacency of the base graph (cached)."""
+        if self._base is None:
+            data = np.ones(len(self._rows), dtype=float)
+            self._base = sp.coo_matrix(
+                (data, (self._rows, self._cols)), shape=(self.n, self.n)
+            ).tocsr()
+        return self._base
+
+    def extended(self, extra_edges: Iterable[tuple[int, int]]) -> sp.csr_matrix:
+        """Adjacency of the base graph plus ``extra_edges``.
+
+        Edges already present (or duplicated within ``extra_edges``) are
+        ignored, keeping the matrix 0/1.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        added: set[tuple[int, int]] = set()
+        for u, v in extra_edges:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise GraphError(f"edge ({u}, {v}) out of range for {self.n} vertices")
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in self._edge_set or key in added:
+                continue
+            added.add(key)
+            rows.extend((u, v))
+            cols.extend((v, u))
+        if not rows:
+            return self.base()
+        all_rows = np.concatenate([self._rows, np.asarray(rows, dtype=np.int32)])
+        all_cols = np.concatenate([self._cols, np.asarray(cols, dtype=np.int32)])
+        data = np.ones(len(all_rows), dtype=float)
+        return sp.coo_matrix((data, (all_rows, all_cols)), shape=(self.n, self.n)).tocsr()
+
+    def commit(self, extra_edges: Iterable[tuple[int, int]]) -> None:
+        """Permanently add ``extra_edges`` to the base graph.
+
+        Used by multi-route planning: after a route is adopted its edges
+        become part of ``G_r``.
+        """
+        rows = list(self._rows)
+        cols = list(self._cols)
+        for u, v in extra_edges:
+            key = (u, v) if u < v else (v, u)
+            if key in self._edge_set or u == v:
+                continue
+            self._edge_set.add(key)
+            rows.extend((u, v))
+            cols.extend((v, u))
+        self._rows = np.asarray(rows, dtype=np.int32)
+        self._cols = np.asarray(cols, dtype=np.int32)
+        self._base = None

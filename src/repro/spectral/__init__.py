@@ -1,0 +1,69 @@
+"""Spectral machinery for natural connectivity (paper Section 5).
+
+Natural connectivity is ``lambda(G) = ln(tr(e^A)/n)`` (Eq. 5). Computing
+it exactly needs a full eigendecomposition; this package provides
+
+* :func:`~repro.spectral.connectivity.natural_connectivity_exact` — the
+  dense reference ("Eigen NumPy" column of Table 2),
+* :class:`~repro.spectral.connectivity.NaturalConnectivityEstimator` —
+  Lanczos + Hutchinson estimation with common random probes (Sec. 5.1),
+* the three upper bounds of Section 5.2 (Estrada / Lemma 3 / Lemma 4) in
+  :mod:`repro.spectral.bounds`,
+* :class:`~repro.spectral.sketch.ExpmSketch` — a randomized low-rank
+  sketch of ``e^A`` enabling first-order per-edge increments (the paper's
+  perturbation-theory future-work item).
+"""
+
+from repro.spectral.alt_measures import (
+    algebraic_connectivity,
+    edge_connectivity,
+    estrada_index,
+    laplacian,
+)
+from repro.spectral.bounds import (
+    estrada_upper_bound,
+    general_upper_bound,
+    general_upper_bound_increment,
+    path_upper_bound,
+    path_upper_bound_increment,
+)
+from repro.spectral.connectivity import (
+    NaturalConnectivityEstimator,
+    natural_connectivity_exact,
+)
+from repro.spectral.eigs import top_k_eigenvalues
+from repro.spectral.hutchinson import hutchinson_trace, sample_probes
+from repro.spectral.lanczos import (
+    lanczos_expm_action,
+    lanczos_expm_action_block,
+    lanczos_expm_quadrature,
+    lanczos_tridiagonalize,
+)
+from repro.spectral.norms import spectral_norm
+from repro.spectral.path_graph import path_graph_adjacency, path_graph_eigenvalues
+from repro.spectral.sketch import ExpmSketch
+
+__all__ = [
+    "algebraic_connectivity",
+    "edge_connectivity",
+    "estrada_index",
+    "laplacian",
+    "estrada_upper_bound",
+    "general_upper_bound",
+    "general_upper_bound_increment",
+    "path_upper_bound",
+    "path_upper_bound_increment",
+    "NaturalConnectivityEstimator",
+    "natural_connectivity_exact",
+    "top_k_eigenvalues",
+    "hutchinson_trace",
+    "sample_probes",
+    "lanczos_expm_action",
+    "lanczos_expm_action_block",
+    "lanczos_expm_quadrature",
+    "lanczos_tridiagonalize",
+    "spectral_norm",
+    "path_graph_adjacency",
+    "path_graph_eigenvalues",
+    "ExpmSketch",
+]

@@ -1,0 +1,109 @@
+"""Natural connectivity: exact reference and Lanczos+Hutchinson estimator.
+
+``lambda(G) = ln((1/n) sum_j e^{lambda_j}) = ln(tr(e^A)/n)`` (Eq. 1/5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.special import logsumexp
+
+from repro.spectral.hutchinson import hutchinson_trace, sample_probes
+from repro.utils.errors import ValidationError
+from repro.utils.prng import ensure_rng
+
+DEFAULT_PROBES = 50
+"""Paper default: s = 50 Hutchinson repetitions."""
+
+DEFAULT_LANCZOS_STEPS = 10
+"""Paper default: t = 10 Lanczos iterations per repetition."""
+
+
+def natural_connectivity_exact(A) -> float:
+    """Exact natural connectivity via dense eigendecomposition.
+
+    The "Eigen NumPy" reference of Table 2 — O(n^3), numerically stable
+    through log-sum-exp. Accepts a dense array or scipy sparse matrix.
+    """
+    if sp.issparse(A):
+        dense = A.toarray()
+    else:
+        dense = np.asarray(A, dtype=float)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValidationError(f"adjacency must be square, got shape {dense.shape}")
+    n = dense.shape[0]
+    if n == 0:
+        raise ValidationError("adjacency must be non-empty")
+    evals = np.linalg.eigvalsh(dense)
+    return float(logsumexp(evals) - np.log(n))
+
+
+class NaturalConnectivityEstimator:
+    """Lanczos + Hutchinson estimator with fixed common probes (Sec. 5.1).
+
+    One instance holds a fixed Gaussian probe block for graphs on ``n``
+    vertices. Because the same probes are reused for every evaluation,
+    *differences* between nearby graphs (the connectivity increments that
+    drive ETA) are estimated far more accurately than the ~1% error of a
+    single absolute estimate.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices of the graphs to be evaluated.
+    n_probes:
+        Hutchinson repetitions ``s`` (paper default 50).
+    lanczos_steps:
+        Lanczos iterations ``t`` per repetition (paper default 10).
+    seed:
+        Probe seed; fixed by default for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        n_probes: int = DEFAULT_PROBES,
+        lanczos_steps: int = DEFAULT_LANCZOS_STEPS,
+        seed: "int | np.random.Generator | None" = 0,
+    ):
+        if n <= 0:
+            raise ValidationError(f"n must be positive, got {n}")
+        self.n = int(n)
+        self.n_probes = int(n_probes)
+        self.lanczos_steps = int(lanczos_steps)
+        rng = ensure_rng(seed)
+        self._probes = sample_probes(self.n, self.n_probes, rng)
+        self.evaluations = 0
+
+    def trace_exp(self, A) -> float:
+        """Estimate ``tr(e^A)``."""
+        self._check(A)
+        self.evaluations += 1
+        return hutchinson_trace(A, self._probes, self.lanczos_steps)
+
+    def estimate(self, A) -> float:
+        """Estimate the natural connectivity ``ln(tr(e^A)/n)``."""
+        return float(np.log(self.trace_exp(A) / self.n))
+
+    def increment(self, A_base, A_extended, base_value: float | None = None) -> float:
+        """Estimate ``lambda(A_extended) - lambda(A_base)`` with common probes.
+
+        ``base_value`` may carry a cached ``estimate(A_base)`` to avoid
+        re-evaluating the (unchanging) base graph.
+        """
+        if base_value is None:
+            base_value = self.estimate(A_base)
+        return self.estimate(A_extended) - base_value
+
+    def _check(self, A) -> None:
+        if A.shape != (self.n, self.n):
+            raise ValidationError(
+                f"matrix shape {A.shape} does not match estimator size {self.n}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"NaturalConnectivityEstimator(n={self.n}, s={self.n_probes}, "
+            f"t={self.lanczos_steps})"
+        )

@@ -1,0 +1,47 @@
+"""Spectral norm estimation via power iteration.
+
+Lemma 2 ties the required Lanczos steps to ``||A||_2``; the paper reports
+5.46 (Chicago) and 4.79 (NYC). For a symmetric adjacency the spectral
+norm is the largest absolute eigenvalue, which power iteration on ``A``
+finds quickly (the Perron eigenvalue dominates for connected graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.prng import ensure_rng
+from repro.utils.validation import require_positive
+
+
+def spectral_norm(
+    A,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+    seed: "int | np.random.Generator | None" = 0,
+) -> float:
+    """Estimate ``||A||_2`` for symmetric ``A`` by power iteration on ``A^2``.
+
+    Iterating ``x -> A (A x)`` converges to the dominant eigenvector of
+    ``A^2`` whose Rayleigh quotient is ``||A||_2^2``, robust to sign
+    (bipartite graphs have ``-lambda_1`` in the spectrum).
+    """
+    require_positive(max_iter, "max_iter")
+    n = A.shape[0]
+    if n == 0:
+        return 0.0
+    rng = ensure_rng(seed)
+    x = rng.standard_normal(n)
+    x /= np.linalg.norm(x)
+    previous = 0.0
+    for _ in range(max_iter):
+        y = A @ (A @ x)
+        norm = float(np.linalg.norm(y))
+        if norm == 0.0:
+            return 0.0
+        x = y / norm
+        estimate = float(np.sqrt(norm))
+        if abs(estimate - previous) <= tol * max(estimate, 1.0):
+            return estimate
+        previous = estimate
+    return previous

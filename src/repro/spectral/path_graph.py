@@ -1,0 +1,32 @@
+"""Path-graph spectra used by the Lemma 4 bound.
+
+A simple path with ``k`` edges has ``k + 1`` vertices and adjacency
+eigenvalues ``2 cos(i pi / (k + 2))`` for ``i = 1..k+1`` — the classical
+closed form the paper plugs into Fan's inequality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ValidationError
+
+
+def path_graph_eigenvalues(k_edges: int) -> np.ndarray:
+    """Eigenvalues (descending) of the adjacency of a ``k_edges``-edge path."""
+    if k_edges < 1:
+        raise ValidationError(f"path needs >= 1 edge, got {k_edges}")
+    i = np.arange(1, k_edges + 2, dtype=float)
+    return 2.0 * np.cos(i * np.pi / (k_edges + 2))
+
+
+def path_graph_adjacency(k_edges: int) -> sp.csr_matrix:
+    """Sparse adjacency matrix of a simple path with ``k_edges`` edges."""
+    if k_edges < 1:
+        raise ValidationError(f"path needs >= 1 edge, got {k_edges}")
+    n = k_edges + 1
+    rows = np.concatenate([np.arange(n - 1), np.arange(1, n)])
+    cols = np.concatenate([np.arange(1, n), np.arange(n - 1)])
+    data = np.ones(2 * (n - 1))
+    return sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()

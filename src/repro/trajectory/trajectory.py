@@ -1,0 +1,83 @@
+"""Network-constrained trajectory model (paper Definition 3).
+
+A trajectory is a connected vertex sequence in the road network with
+entry timestamps; it induces an edge path used for demand aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.road import RoadNetwork
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An ordered, connected walk through road-network vertices.
+
+    Attributes
+    ----------
+    vertices:
+        Road vertex ids, consecutive pairs joined by road edges.
+    edges:
+        Road edge ids realizing each consecutive vertex pair.
+    timestamps:
+        Entry time (minutes from an arbitrary origin) per vertex.
+    """
+
+    vertices: tuple[int, ...]
+    edges: tuple[int, ...]
+    timestamps: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 1:
+            raise ValidationError("trajectory needs at least one vertex")
+        if len(self.edges) != len(self.vertices) - 1:
+            raise ValidationError(
+                f"trajectory with {len(self.vertices)} vertices needs "
+                f"{len(self.vertices) - 1} edges, got {len(self.edges)}"
+            )
+        if self.timestamps and len(self.timestamps) != len(self.vertices):
+            raise ValidationError("timestamps must align with vertices")
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def origin(self) -> int:
+        return self.vertices[0]
+
+    @property
+    def destination(self) -> int:
+        return self.vertices[-1]
+
+    def length_km(self, road: RoadNetwork) -> float:
+        """Total travelled length in km."""
+        return sum(road.edge_length(e) for e in self.edges)
+
+    def duration_min(self) -> float:
+        """Elapsed time (if timestamps are present), else 0."""
+        if len(self.timestamps) < 2:
+            return 0.0
+        return self.timestamps[-1] - self.timestamps[0]
+
+    @classmethod
+    def from_vertex_path(
+        cls, road: RoadNetwork, vertices: list[int], start_time: float = 0.0
+    ) -> "Trajectory":
+        """Build a trajectory from a connected vertex path.
+
+        Timestamps accumulate edge travel times from ``start_time``.
+        Raises if consecutive vertices are not adjacent in ``road``.
+        """
+        edges: list[int] = []
+        times = [float(start_time)]
+        for u, v in zip(vertices, vertices[1:]):
+            eid = road.edge_between(u, v)
+            if eid is None:
+                raise ValidationError(f"vertices {u} and {v} are not adjacent")
+            edges.append(eid)
+            times.append(times[-1] + road.edge_travel_time(eid))
+        return cls(tuple(vertices), tuple(edges), tuple(times))

@@ -1,0 +1,91 @@
+"""Taxi trip records and the trip-to-trajectory conversion (Sec. 7.1.1).
+
+A trip record holds only a pickup/drop-off vertex plus recorded travel
+distance and time. Following the paper, each trip is realized as the
+shortest road path between its endpoints and *accepted* as a trajectory
+only when the path's distance and time are both within a tolerance
+(default 5%) of the recorded values — otherwise the shortest path is a
+poor proxy for the route actually driven and the trip is discarded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.road import RoadNetwork
+from repro.network.shortest_path import (
+    dijkstra,
+    reconstruct_edge_path,
+    reconstruct_vertex_path,
+)
+from repro.trajectory.trajectory import Trajectory
+from repro.utils.errors import ValidationError
+
+DEFAULT_TOLERANCE = 0.05
+"""Paper: accept a shortest path within 5% of the recorded trip."""
+
+
+@dataclass(frozen=True)
+class TripRecord:
+    """One taxi trip: endpoints plus odometer distance and duration."""
+
+    pickup_vertex: int
+    dropoff_vertex: int
+    distance_km: float
+    duration_min: float
+
+    def __post_init__(self) -> None:
+        if self.distance_km < 0:
+            raise ValidationError(f"distance must be >= 0, got {self.distance_km}")
+        if self.duration_min < 0:
+            raise ValidationError(f"duration must be >= 0, got {self.duration_min}")
+
+
+def _within(measured: float, recorded: float, tolerance: float) -> bool:
+    if recorded <= 0:
+        return measured <= 0
+    return abs(measured - recorded) <= tolerance * recorded
+
+
+def trips_to_trajectories(
+    road: RoadNetwork,
+    trips: list[TripRecord],
+    tolerance: float = DEFAULT_TOLERANCE,
+    check_time: bool = True,
+) -> list[Trajectory]:
+    """Convert trips to trajectories via tolerance-checked shortest paths.
+
+    Trips are grouped by pickup vertex so each distinct origin costs one
+    Dijkstra run. Unreachable or out-of-tolerance trips are skipped.
+    """
+    if not 0 <= tolerance:
+        raise ValidationError(f"tolerance must be >= 0, got {tolerance}")
+    by_origin: dict[int, list[TripRecord]] = {}
+    for trip in trips:
+        by_origin.setdefault(trip.pickup_vertex, []).append(trip)
+
+    adj_len = road.adjacency_lists("length")
+    out: list[Trajectory] = []
+    for origin, group in by_origin.items():
+        targets = {t.dropoff_vertex for t in group}
+        dist, pred_v, pred_e = dijkstra(adj_len, origin, targets=targets)
+        for trip in group:
+            d = dist[trip.dropoff_vertex]
+            if math.isinf(d):
+                continue
+            if not _within(d, trip.distance_km, tolerance):
+                continue
+            vertices = reconstruct_vertex_path(pred_v, origin, trip.dropoff_vertex)
+            edges = reconstruct_edge_path(pred_v, pred_e, origin, trip.dropoff_vertex)
+            if not vertices:
+                continue
+            if check_time:
+                travel_time = sum(road.edge_travel_time(e) for e in edges)
+                if not _within(travel_time, trip.duration_min, tolerance):
+                    continue
+            times = [0.0]
+            for e in edges:
+                times.append(times[-1] + road.edge_travel_time(e))
+            out.append(Trajectory(tuple(vertices), tuple(edges), tuple(times)))
+    return out

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the CT-Bus reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type. Subclasses mark which layer failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad range, wrong shape, ...)."""
+
+
+class GraphError(ReproError):
+    """A graph operation failed (unknown vertex, duplicate edge, ...)."""
+
+
+class DataError(ReproError):
+    """A dataset could not be built, parsed, or written."""
+
+
+class PlanningError(ReproError):
+    """Route planning could not produce a feasible result."""

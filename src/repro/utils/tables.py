@@ -1,0 +1,78 @@
+"""ASCII table / series rendering for experiment reports.
+
+The benchmark harness prints every reproduced paper table and figure as
+plain text; these formatters keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [c.ljust(widths[i]) for i, c in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x: Sequence[object],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series as a labelled ASCII bar strip.
+
+    Used for figure reproductions where only the curve shape matters.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} x-values vs {len(y)} y-values")
+    out = []
+    if title:
+        out.append(title)
+    if not y:
+        out.append("(empty series)")
+        return "\n".join(out)
+    lo, hi = min(y), max(y)
+    span = hi - lo or 1.0
+    xw = max((len(_cell(v)) for v in x), default=1)
+    for xv, yv in zip(x, y):
+        bars = int(round((yv - lo) / span * width))
+        out.append(f"{_cell(xv).rjust(xw)} | {_cell(yv).rjust(12)} {'#' * bars}")
+    out.append(f"({x_label} vs {y_label}; min={_cell(lo)}, max={_cell(hi)})")
+    return "\n".join(out)

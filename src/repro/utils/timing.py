@@ -1,0 +1,45 @@
+"""Small timing helpers used by the bench harness and planners."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        """Return seconds since ``__enter__`` without stopping the timer."""
+        return time.perf_counter() - self._start
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (``1.23ms``, ``4.56s``, ``2m03s``)."""
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes = int(seconds // 60)
+    return f"{minutes}m{seconds - 60 * minutes:04.1f}s"

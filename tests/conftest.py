@@ -1,0 +1,53 @@
+"""Shared fixtures: tiny deterministic cities and planning state.
+
+Session-scoped so the (comparatively) expensive generation and
+pre-computation run once per pytest session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.precompute import precompute
+from repro.data.datasets import build_dataset, chicago_like
+from repro.data.synth import SynthConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A minimal but non-degenerate city (sub-second to build)."""
+    return chicago_like("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small city rich enough for end-to-end planning assertions."""
+    return chicago_like("small")
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    """A micro city with custom config (distinct from the canned ones)."""
+    cfg = SynthConfig(
+        name="micro",
+        grid_width=7,
+        grid_height=6,
+        n_hotspots=3,
+        n_routes=4,
+        route_min_km=0.6,
+        n_trips=300,
+        seed=42,
+    )
+    return build_dataset(cfg)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return PlannerConfig(k=12, max_iterations=300, seed_count=200)
+
+
+@pytest.fixture(scope="session")
+def small_pre(small_dataset, small_config):
+    """Pre-computation over the small city (shared by planner tests)."""
+    return precompute(small_dataset, small_config)

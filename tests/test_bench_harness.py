@@ -1,0 +1,52 @@
+"""Tests for the benchmark harness plumbing (not the heavy experiments)."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import all_reports, bench_config, get_dataset, report
+from repro.utils.errors import ValidationError
+
+
+class TestBenchConfig:
+    def test_paper_defaults(self):
+        cfg = bench_config()
+        assert cfg.k == 30
+        assert cfg.w == 0.5
+        assert cfg.tau_km == 0.5
+        assert cfg.max_turns == 3
+
+    def test_overrides(self):
+        cfg = bench_config(k=7, w=0.3)
+        assert cfg.k == 7 and cfg.w == 0.3
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValidationError):
+            bench_config(w=3.0)
+
+
+class TestDatasetCache:
+    def test_cached_identity(self):
+        a = get_dataset("chicago", "tiny")
+        b = get_dataset("chicago", "tiny")
+        assert a is b
+
+    def test_borough_lookup(self):
+        ds = get_dataset("bronx", "tiny")
+        assert ds.name.startswith("bronx")
+
+
+class TestReportRegistry:
+    def test_register_and_snapshot(self):
+        report("unit-test-entry", "hello\nworld")
+        snap = all_reports()
+        assert snap["unit-test-entry"] == "hello\nworld"
+
+    def test_written_to_disk_when_configured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path))
+        report("disk entry/with slash", "content")
+        files = os.listdir(tmp_path)
+        assert len(files) == 1
+        assert "disk_entry-with_slash" in files[0]
+        with open(tmp_path / files[0]) as f:
+            assert "content" in f.read()

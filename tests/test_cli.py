@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--city", "gotham"])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.method == "eta-pre"
+        assert args.k == 20
+        assert args.w == 0.5
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--city", "chicago", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "|V_r|" in out and "|R|" in out
+
+    def test_plan_with_evaluation(self, capsys):
+        rc = main([
+            "plan", "--city", "chicago", "--profile", "tiny",
+            "--k", "5", "--iterations", "100", "--evaluate",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objective O(mu)" in out
+        assert "#transfers avoided" in out
+
+    def test_plan_vk_tsp(self, capsys):
+        rc = main([
+            "plan", "--city", "chicago", "--profile", "tiny",
+            "--method", "vk-tsp", "--k", "5", "--iterations", "100",
+        ])
+        assert rc == 0
+        assert "vk-tsp" in capsys.readouterr().out
+
+    def test_removal(self, capsys):
+        assert main(["removal", "--city", "chicago", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "natural connectivity" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--city", "chicago", "--profile", "tiny",
+                     "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Estrada" in out and "Lemma 4" in out

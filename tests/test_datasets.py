@@ -1,0 +1,60 @@
+"""Unit tests for canned datasets and profiles."""
+
+import pytest
+
+from repro.data.datasets import (
+    borough_like,
+    build_dataset,
+    chicago_like,
+    list_profiles,
+    nyc_like,
+)
+from repro.utils.errors import DataError
+
+
+class TestProfiles:
+    def test_listing(self):
+        assert list_profiles() == ("tiny", "small", "bench", "paper")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(DataError):
+            chicago_like("huge")
+
+    def test_unknown_borough_rejected(self):
+        with pytest.raises(DataError):
+            borough_like("gotham")
+
+
+class TestDatasetBundles:
+    def test_tiny_chicago_stats(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        assert stats["|V|"] > 0
+        assert stats["|V_r|"] >= 2
+        assert stats["|R|"] >= 3
+        assert stats["|D| accepted"] <= stats["|D|"]
+        assert stats["|D| accepted"] > 0
+
+    def test_demand_was_aggregated(self, tiny_dataset):
+        assert tiny_dataset.road.demand_counts().sum() > 0
+
+    def test_deterministic_rebuild(self, tiny_dataset):
+        again = chicago_like("tiny")
+        assert again.stats() == tiny_dataset.stats()
+
+    def test_stops_affiliated(self, tiny_dataset):
+        t = tiny_dataset.transit
+        for s in range(t.n_stops):
+            assert t.stop_road_vertex(s) >= 0
+
+    def test_nyc_tiny_builds(self):
+        ds = nyc_like("tiny")
+        assert ds.transit.n_routes >= 3
+
+    def test_borough_tiny_builds(self):
+        ds = borough_like("staten island", "tiny")
+        assert ds.name.startswith("staten_island")
+        assert ds.transit.n_routes >= 3
+
+    def test_small_larger_than_tiny(self, tiny_dataset, small_dataset):
+        assert small_dataset.road.n_vertices > tiny_dataset.road.n_vertices
+        assert small_dataset.transit.n_routes >= tiny_dataset.transit.n_routes

@@ -1,0 +1,93 @@
+"""Tests for max-flow and edge connectivity, cross-checked with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.flow import FlowNetwork, edge_connectivity, local_edge_connectivity
+from repro.utils.errors import GraphError
+
+
+def random_edges(n, p, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+
+
+class TestMaxFlow:
+    def test_single_path(self):
+        net = FlowNetwork(3, [(0, 1), (1, 2)])
+        assert net.max_flow(0, 2) == pytest.approx(1.0)
+
+    def test_parallel_paths(self):
+        # Two vertex-disjoint paths 0->3.
+        net = FlowNetwork(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        assert net.max_flow(0, 3) == pytest.approx(2.0)
+
+    def test_disconnected(self):
+        net = FlowNetwork(4, [(0, 1), (2, 3)])
+        assert net.max_flow(0, 3) == 0.0
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(GraphError):
+            FlowNetwork(2, [(0, 1)]).max_flow(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            FlowNetwork(2, [(0, 1)]).max_flow(0, 5)
+        with pytest.raises(GraphError):
+            FlowNetwork(2, [(0, 9)])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        n = 14
+        edges = random_edges(n, 0.3, seed)
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(n))
+        for u, v in g.edges:
+            g[u][v]["capacity"] = 1.0
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(5):
+            s, t = rng.choice(n, 2, replace=False)
+            want = nx.maximum_flow_value(g, int(s), int(t))
+            got = FlowNetwork(n, edges).max_flow(int(s), int(t))
+            assert got == pytest.approx(want)
+
+
+class TestEdgeConnectivity:
+    def test_path_graph(self):
+        assert edge_connectivity(4, [(0, 1), (1, 2), (2, 3)]) == 1
+
+    def test_cycle_graph(self):
+        assert edge_connectivity(4, [(0, 1), (1, 2), (2, 3), (3, 0)]) == 2
+
+    def test_complete_graph(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        assert edge_connectivity(5, edges) == 4
+
+    def test_disconnected(self):
+        assert edge_connectivity(4, [(0, 1), (2, 3)]) == 0
+
+    def test_trivial(self):
+        assert edge_connectivity(1, []) == 0
+        assert edge_connectivity(0, []) == 0
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_networkx(self, seed):
+        n = 12
+        edges = random_edges(n, 0.35, seed)
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(n))
+        assert edge_connectivity(n, edges) == nx.edge_connectivity(g)
+
+    def test_local_connectivity(self):
+        # Bowtie: two triangles joined at vertex 2 -> local cut 0-4 is 2
+        # via the shared vertex... edge-wise it is 2.
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        g = nx.Graph(edges)
+        want = nx.edge_connectivity(g, 0, 4)
+        assert local_edge_connectivity(5, edges, 0, 4) == want

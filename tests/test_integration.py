@@ -1,0 +1,131 @@
+"""Integration tests: the full pipeline, end to end, on tiny cities.
+
+generate -> aggregate demand -> precompute -> plan -> evaluate,
+plus cross-checks between independent implementations of the same
+quantity (linear score vs exact evaluation, estimated vs exact
+connectivity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.planner import CTBusPlanner
+from repro.core.precompute import precompute
+from repro.data.datasets import build_dataset
+from repro.data.synth import SynthConfig
+from repro.eval.metrics import evaluate_planned_route, materialize_route
+from repro.spectral.connectivity import natural_connectivity_exact
+
+
+class TestEndToEnd:
+    def test_full_pipeline(self, micro_dataset):
+        cfg = PlannerConfig(k=8, max_iterations=150, seed_count=60)
+        planner = CTBusPlanner(micro_dataset, cfg)
+        result = planner.plan("eta-pre")
+        assert result.route is not None
+        ev = evaluate_planned_route(planner.precomputation, result.route)
+        assert ev.distance_ratio >= 1.0 - 1e-9
+
+    def test_exact_connectivity_of_materialized_route(self, micro_dataset):
+        """The reported O_lambda must match the exact value of the new
+        network within estimator tolerance."""
+        cfg = PlannerConfig(k=8, max_iterations=150, seed_count=60)
+        planner = CTBusPlanner(micro_dataset, cfg)
+        pre = planner.precomputation
+        result = planner.plan("eta-pre")
+        new_transit = materialize_route(pre, result.route)
+        exact_new = natural_connectivity_exact(new_transit.adjacency())
+        exact_old = natural_connectivity_exact(
+            pre.universe.transit.adjacency()
+        )
+        true_increment = exact_new - exact_old
+        assert result.o_lambda == pytest.approx(true_increment, rel=0.25, abs=0.02)
+
+    def test_connectivity_weight_shifts_routes(self, micro_dataset):
+        """w=0 prioritizes connectivity; w=1 prioritizes demand."""
+        base = PlannerConfig(k=8, max_iterations=150, seed_count=60)
+        demand_route = CTBusPlanner(micro_dataset, base.variant(w=1.0)).plan("eta-pre")
+        conn_route = CTBusPlanner(micro_dataset, base.variant(w=0.0)).plan("eta-pre")
+        assert demand_route.o_d >= conn_route.o_d - 1e-9
+        assert conn_route.o_lambda >= demand_route.o_lambda - 5e-3
+
+    def test_route_edges_within_tau_or_existing(self, micro_dataset):
+        cfg = PlannerConfig(k=8, max_iterations=100, seed_count=60, tau_km=0.4)
+        planner = CTBusPlanner(micro_dataset, cfg)
+        result = planner.plan("eta-pre")
+        pre = planner.precomputation
+        coords = pre.universe.transit.stop_coords
+        for idx in result.route.edge_indices:
+            e = pre.universe.edge(idx)
+            if e.is_new:
+                gap = float(np.hypot(*(coords[e.u] - coords[e.v])))
+                assert gap <= cfg.tau_km + 1e-9
+
+
+class TestDegenerateInputs:
+    def test_no_demand_city(self):
+        """All-zero demand: planner still optimizes pure connectivity."""
+        cfg = SynthConfig(
+            name="dead", grid_width=6, grid_height=5, n_routes=3,
+            route_min_km=0.5, n_trips=0, n_hotspots=2, seed=5,
+        )
+        ds = build_dataset(cfg)
+        ds.road.reset_demand()
+        planner = CTBusPlanner(ds, PlannerConfig(k=5, max_iterations=60))
+        result = planner.plan("eta-pre")
+        assert result.route is not None
+        assert result.o_d == 0.0
+        assert result.o_lambda > 0
+
+    def test_tau_too_small_for_new_edges(self, micro_dataset):
+        """tau below any stop gap: only existing edges are plannable."""
+        planner = CTBusPlanner(
+            micro_dataset,
+            PlannerConfig(k=5, max_iterations=60, tau_km=1e-4),
+        )
+        result = planner.plan("eta-pre")
+        # Either no route or a route of existing edges only.
+        if result.route is not None:
+            assert result.route.n_new_edges == 0
+            assert result.o_lambda == 0.0
+
+    def test_k_larger_than_network(self, micro_dataset):
+        planner = CTBusPlanner(
+            micro_dataset,
+            PlannerConfig(k=10_000, max_iterations=60, seed_count=40),
+        )
+        result = planner.plan("eta-pre")
+        assert result.route is not None
+
+    def test_single_route_city(self):
+        cfg = SynthConfig(
+            name="mono", grid_width=8, grid_height=4, n_routes=1,
+            route_min_km=0.8, n_trips=200, n_hotspots=2, seed=9,
+        )
+        ds = build_dataset(cfg)
+        planner = CTBusPlanner(ds, PlannerConfig(k=6, max_iterations=60))
+        result = planner.plan("eta-pre")
+        assert result.route is not None
+
+
+class TestReproducibility:
+    def test_same_seed_same_plan(self, micro_dataset):
+        cfg = PlannerConfig(k=8, max_iterations=120, seed_count=60, seed=3)
+        r1 = CTBusPlanner(micro_dataset, cfg).plan("eta-pre")
+        r2 = CTBusPlanner(micro_dataset, cfg).plan("eta-pre")
+        assert r1.route.edge_indices == r2.route.edge_indices
+        assert r1.objective == pytest.approx(r2.objective)
+
+    def test_different_probe_seed_same_route_usually(self, micro_dataset):
+        """Probe randomness shifts estimates but L_e ranking is robust on
+        a tiny instance — the planned route should stay identical."""
+        a = CTBusPlanner(
+            micro_dataset, PlannerConfig(k=8, max_iterations=120, seed=1)
+        ).plan("eta-pre")
+        b = CTBusPlanner(
+            micro_dataset, PlannerConfig(k=8, max_iterations=120, seed=2)
+        ).plan("eta-pre")
+        assert a.route is not None and b.route is not None
+        # Routes may differ slightly; objectives must be close.
+        assert a.objective == pytest.approx(b.objective, rel=0.35)

@@ -1,0 +1,135 @@
+"""Unit tests for Lanczos tridiagonalization and expm actions.
+
+Reference values come from dense ``scipy.linalg.expm``.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.spectral.lanczos import (
+    lanczos_expm_action,
+    lanczos_expm_action_block,
+    lanczos_expm_quadrature,
+    lanczos_tridiagonalize,
+)
+from repro.utils.errors import ValidationError
+
+
+def random_adjacency(n: int, p: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    dense = (upper | upper.T).astype(float)
+    return sp.csr_matrix(dense)
+
+
+class TestTridiagonalize:
+    def test_orthonormal_basis(self):
+        A = random_adjacency(40, 0.1, 0)
+        v = np.random.default_rng(1).standard_normal(40)
+        Q, alpha, beta = lanczos_tridiagonalize(lambda x: A @ x, v, 12)
+        gram = Q @ Q.T
+        assert gram == pytest.approx(np.eye(len(alpha)), abs=1e-8)
+
+    def test_t_matches_rayleigh_quotient(self):
+        A = random_adjacency(30, 0.15, 2)
+        v = np.random.default_rng(3).standard_normal(30)
+        Q, alpha, beta = lanczos_tridiagonalize(lambda x: A @ x, v, 8)
+        T = Q @ (A @ Q.T)
+        assert np.diag(T) == pytest.approx(alpha, abs=1e-8)
+        assert np.diag(T, 1) == pytest.approx(beta, abs=1e-8)
+
+    def test_breakdown_on_invariant_subspace(self):
+        # Start vector is an eigenvector: breakdown after 1 step.
+        A = sp.csr_matrix(np.diag([3.0, 1.0, 1.0]))
+        v = np.array([1.0, 0.0, 0.0])
+        Q, alpha, beta = lanczos_tridiagonalize(lambda x: A @ x, v, 5)
+        assert len(alpha) == 1
+        assert alpha[0] == pytest.approx(3.0)
+
+    def test_zero_vector(self):
+        A = random_adjacency(5, 0.5, 0)
+        Q, alpha, beta = lanczos_tridiagonalize(lambda x: A @ x, np.zeros(5), 3)
+        assert alpha == pytest.approx([0.0])
+
+    def test_bad_inputs(self):
+        A = random_adjacency(5, 0.5, 0)
+        with pytest.raises(ValidationError):
+            lanczos_tridiagonalize(lambda x: A @ x, np.zeros((5, 2)), 3)
+        with pytest.raises(ValidationError):
+            lanczos_tridiagonalize(lambda x: A @ x, np.zeros(5), 0)
+
+
+class TestExpmAction:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense_expm(self, seed):
+        A = random_adjacency(50, 0.08, seed)
+        v = np.random.default_rng(seed + 10).standard_normal(50)
+        want = scipy.linalg.expm(A.toarray()) @ v
+        got = lanczos_expm_action(A, v, steps=25)
+        assert got == pytest.approx(want, rel=1e-6, abs=1e-8)
+
+    def test_few_steps_still_close(self):
+        # Transit-like spectral norm: t=10 should already be accurate.
+        A = random_adjacency(80, 0.04, 5)
+        v = np.random.default_rng(6).standard_normal(80)
+        want = scipy.linalg.expm(A.toarray()) @ v
+        got = lanczos_expm_action(A, v, steps=10)
+        rel = np.linalg.norm(got - want) / np.linalg.norm(want)
+        assert rel < 1e-3
+
+    def test_zero_vector(self):
+        A = random_adjacency(10, 0.3, 1)
+        assert lanczos_expm_action(A, np.zeros(10)) == pytest.approx(np.zeros(10))
+
+
+class TestQuadrature:
+    def test_positive_and_matches_direct(self):
+        A = random_adjacency(40, 0.1, 7)
+        v = np.random.default_rng(8).standard_normal(40)
+        quad = lanczos_expm_quadrature(A, v, steps=20)
+        want = v @ (scipy.linalg.expm(A.toarray()) @ v)
+        assert quad > 0
+        assert quad == pytest.approx(want, rel=1e-6)
+
+    def test_zero_vector(self):
+        A = random_adjacency(6, 0.4, 2)
+        assert lanczos_expm_quadrature(A, np.zeros(6)) == 0.0
+
+
+class TestBlockAction:
+    def test_matches_column_by_column(self):
+        A = random_adjacency(35, 0.12, 11)
+        V = np.random.default_rng(12).standard_normal((35, 7))
+        block = lanczos_expm_action_block(A, V, steps=12)
+        for c in range(7):
+            single = lanczos_expm_action(A, V[:, c], steps=12)
+            assert block[:, c] == pytest.approx(single, rel=1e-8, abs=1e-9)
+
+    def test_scale_factor(self):
+        A = random_adjacency(25, 0.15, 13)
+        V = np.random.default_rng(14).standard_normal((25, 3))
+        got = lanczos_expm_action_block(A, V, steps=20, scale=0.5)
+        want = scipy.linalg.expm(0.5 * A.toarray()) @ V
+        assert got == pytest.approx(want, rel=1e-6, abs=1e-8)
+
+    def test_zero_columns_handled(self):
+        A = random_adjacency(15, 0.2, 15)
+        V = np.random.default_rng(16).standard_normal((15, 3))
+        V[:, 1] = 0.0
+        out = lanczos_expm_action_block(A, V, steps=8)
+        assert out[:, 1] == pytest.approx(np.zeros(15))
+        assert np.linalg.norm(out[:, 0]) > 0
+
+    def test_empty_block(self):
+        A = random_adjacency(5, 0.5, 17)
+        out = lanczos_expm_action_block(A, np.zeros((5, 0)), steps=4)
+        assert out.shape == (5, 0)
+
+    def test_bad_inputs(self):
+        A = random_adjacency(5, 0.5, 18)
+        with pytest.raises(ValidationError):
+            lanczos_expm_action_block(A, np.zeros(5), steps=4)
+        with pytest.raises(ValidationError):
+            lanczos_expm_action_block(A, np.zeros((5, 2)), steps=0)

@@ -1,0 +1,60 @@
+"""Unit tests for the HMM-style map matcher."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import SynthConfig, generate_road_network
+from repro.network.road import RoadNetwork
+from repro.trajectory.matching import map_match
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def road() -> RoadNetwork:
+    return generate_road_network(
+        SynthConfig(grid_width=8, grid_height=8, coord_jitter=0.05,
+                    drop_edge_prob=0.0, seed=11)
+    )
+
+
+class TestMapMatch:
+    def test_recovers_straight_drive(self, road):
+        # Sample GPS points along a row of the grid with small noise.
+        rng = np.random.default_rng(0)
+        truth = [1, 2, 3, 4, 5]  # consecutive vertices on the bottom row
+        pts = [
+            np.asarray(road.vertex_xy(v)) + rng.normal(0, 0.02, 2) for v in truth
+        ]
+        traj = map_match(road, pts, search_radius=0.2)
+        assert traj.vertices[0] == truth[0]
+        assert traj.vertices[-1] == truth[-1]
+        # The matched walk must visit the true vertices in order.
+        positions = [traj.vertices.index(v) for v in truth]
+        assert positions == sorted(positions)
+
+    def test_noisy_points_still_connected(self, road):
+        rng = np.random.default_rng(1)
+        truth = [0, 8, 16, 24]  # a column walk (vertex ids row-major, w=8)
+        pts = [
+            np.asarray(road.vertex_xy(v)) + rng.normal(0, 0.05, 2) for v in truth
+        ]
+        traj = map_match(road, pts, search_radius=0.3)
+        # Result is a valid trajectory: consecutive vertices adjacent.
+        for u, v in zip(traj.vertices, traj.vertices[1:]):
+            assert road.edge_between(u, v) is not None
+
+    def test_single_point(self, road):
+        traj = map_match(road, [road.vertex_xy(10)], search_radius=0.2)
+        assert traj.vertices == (10,)
+
+    def test_far_point_rejected(self, road):
+        with pytest.raises(ValidationError):
+            map_match(road, [(999.0, 999.0)], search_radius=0.2)
+
+    def test_empty_rejected(self, road):
+        with pytest.raises(ValidationError):
+            map_match(road, np.zeros((0, 2)))
+
+    def test_bad_shape_rejected(self, road):
+        with pytest.raises(ValidationError):
+            map_match(road, np.zeros((3, 3)))

@@ -1,0 +1,77 @@
+"""Tests for the CTBusPlanner facade and multi-route planning."""
+
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.planner import METHODS, CTBusPlanner
+from repro.utils.errors import PlanningError
+
+
+@pytest.fixture(scope="module")
+def planner():
+    from repro.data.datasets import chicago_like
+
+    ds = chicago_like("small")
+    return CTBusPlanner(ds, PlannerConfig(k=10, max_iterations=200, seed_count=120))
+
+
+class TestFacade:
+    def test_methods_listed(self):
+        assert set(METHODS) == {"eta-pre", "eta", "eta-all", "vk-tsp"}
+
+    def test_unknown_method_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan("annealing")
+
+    def test_precomputation_cached(self, planner):
+        assert planner.precomputation is planner.precomputation
+
+    def test_eta_pre_via_facade(self, planner):
+        result = planner.plan("eta-pre")
+        assert result.route is not None
+        assert result.summary()["method"] == "eta-pre"
+
+    def test_vk_tsp_new_edges_only_and_renormalized(self, planner):
+        result = planner.plan("vk-tsp")
+        assert result.route.n_new_edges == result.route.n_edges
+        # Objective is re-normalized with the caller's w (0.5 here).
+        want = 0.5 * result.o_d_normalized + 0.5 * result.o_lambda_normalized
+        assert result.objective == pytest.approx(want)
+
+    def test_default_config(self):
+        from repro.data.datasets import chicago_like
+
+        p = CTBusPlanner(chicago_like("tiny"))
+        assert p.config.k == 30  # paper default
+
+
+class TestMultiRoute:
+    def test_plans_distinct_routes(self, planner):
+        results = planner.plan_multiple(2, method="eta-pre")
+        assert len(results) == 2
+        first, second = results
+        assert first.route.edge_indices != second.route.edge_indices
+
+    def test_advanced_planner_zeroes_covered_demand(self, planner):
+        first = planner.plan("eta-pre")
+        advanced = planner._advanced(first.route, zero_covered_demand=True)
+        pre = planner.precomputation
+        for idx in first.route.edge_indices:
+            for road_edge in pre.universe.edge(idx).road_path:
+                assert advanced.dataset.road.edge_demand(road_edge) == 0.0
+        # And the new transit network carries the planned route.
+        assert advanced.dataset.transit.n_routes == (
+            planner.dataset.transit.n_routes + 1
+        )
+
+    def test_bad_count(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan_multiple(0)
+
+    def test_advanced_dataset_contains_new_route(self, planner):
+        results = planner.plan_multiple(2, method="eta-pre")
+        assert len(results) == 2
+        # The original dataset is untouched.
+        assert all(
+            not r.name.startswith("planned") for r in planner.dataset.transit.routes
+        )

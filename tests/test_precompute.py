@@ -1,0 +1,116 @@
+"""Unit tests for the pre-computation stage (Section 6 / Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.precompute import (
+    compute_edge_increments,
+    precompute,
+    rebind,
+)
+
+
+class TestPrecompute:
+    def test_artifacts_present(self, small_pre):
+        pre = small_pre
+        assert pre.n_candidate_edges > 0
+        assert np.isfinite(pre.lambda_base)
+        assert pre.d_max > 0 and pre.lambda_max > 0
+        assert pre.path_bound_increment > 0
+        assert len(pre.top_eigenvalues) >= 2 * pre.config.k or (
+            len(pre.top_eigenvalues) == pre.universe.n_stops
+        )
+        assert pre.road is not None
+
+    def test_existing_edges_zero_delta(self, small_pre):
+        uni = small_pre.universe
+        existing = ~uni.is_new
+        assert np.all(uni.delta[existing] == 0.0)
+
+    def test_new_edge_deltas_nonnegative(self, small_pre):
+        assert (small_pre.universe.delta >= 0).all()
+        assert small_pre.universe.delta.max() > 0
+
+    def test_normalizers_follow_eq12(self, small_pre):
+        pre = small_pre
+        assert pre.d_max == pytest.approx(pre.L_d.top_sum(pre.config.k))
+        assert pre.lambda_max == pytest.approx(pre.L_lambda.top_sum(pre.config.k))
+
+    def test_L_e_combines_both(self, small_pre):
+        pre = small_pre
+        w = pre.config.w
+        for idx in (0, len(pre.universe) - 1):
+            want = (
+                w * pre.universe.demand[idx] / pre.d_max
+                + (1 - w) * pre.universe.delta[idx] / pre.lambda_max
+            )
+            assert pre.L_e.value(idx) == pytest.approx(want)
+
+    def test_timings_recorded(self, small_pre):
+        assert {"candidate_edges_s", "base_spectrum_s", "increments_s"} <= set(
+            small_pre.timings
+        )
+
+    def test_lambda_base_close_to_exact(self, small_dataset, small_pre):
+        from repro.spectral.connectivity import natural_connectivity_exact
+
+        exact = natural_connectivity_exact(small_dataset.transit.adjacency())
+        assert small_pre.lambda_base == pytest.approx(exact, abs=0.1)
+
+
+class TestIncrementModes:
+    def test_sketch_mode_correlates_with_exact(self, small_dataset, small_config):
+        exact_pre = precompute(small_dataset, small_config)
+        sketch_cfg = small_config.variant(increment_mode="sketch")
+        sketch_pre = precompute(small_dataset, sketch_cfg)
+        new = exact_pre.universe.is_new
+        a = exact_pre.universe.delta[new]
+        b = sketch_pre.universe.delta[new]
+        assert len(a) == len(b)
+        # Rankings should agree reasonably well.
+        ra = np.argsort(np.argsort(a))
+        rb = np.argsort(np.argsort(b))
+        assert np.corrcoef(ra, rb)[0, 1] > 0.5
+
+    def test_unknown_mode_rejected(self, small_pre):
+        with pytest.raises(ValueError):
+            compute_edge_increments(
+                small_pre.universe,
+                small_pre.builder,
+                small_pre.estimator,
+                small_pre.lambda_base,
+                mode="bogus",
+            )
+
+
+class TestRebind:
+    def test_w_change_updates_L_e_only(self, small_pre):
+        re = rebind(small_pre, small_pre.config.variant(w=1.0))
+        assert re.universe is small_pre.universe
+        assert re.d_max == small_pre.d_max
+        # w=1: L_e must be pure normalized demand.
+        idx = int(np.argmax(small_pre.universe.demand))
+        assert re.L_e.value(idx) == pytest.approx(
+            small_pre.universe.demand[idx] / re.d_max
+        )
+
+    def test_k_change_updates_normalizers(self, small_pre):
+        re = rebind(small_pre, small_pre.config.variant(k=4))
+        assert re.d_max == pytest.approx(small_pre.L_d.top_sum(4))
+        assert re.path_bound_increment != small_pre.path_bound_increment
+
+    def test_k_growth_extends_eigenvalues(self, small_pre):
+        big_k = len(small_pre.top_eigenvalues)  # force 2k beyond stored
+        re = rebind(small_pre, small_pre.config.variant(k=big_k))
+        assert len(re.top_eigenvalues) >= min(
+            2 * big_k, small_pre.universe.n_stops
+        ) or len(re.top_eigenvalues) == small_pre.universe.n_stops
+
+    def test_tau_change_rejected(self, small_pre):
+        with pytest.raises(ValueError):
+            rebind(small_pre, small_pre.config.variant(tau_km=1.0))
+
+    def test_road_preserved(self, small_pre):
+        re = rebind(small_pre, small_pre.config.variant(w=0.0))
+        assert re.road is small_pre.road

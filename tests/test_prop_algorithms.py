@@ -1,0 +1,112 @@
+"""Property-based tests for ranked-list bounds, TSP, and path helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.tsp import (
+    held_karp_order,
+    nearest_neighbor_order,
+    tour_length,
+    two_opt,
+)
+from repro.core.bounds import RankedList, initial_bound, rescan_bound, update_bound
+from repro.network.paths import count_turns, is_simple_stop_sequence
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=20,
+)
+
+
+class TestRankedListProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values_strategy)
+    def test_rank_value_consistency(self, values):
+        r = RankedList(np.array(values))
+        ranked = [r.ranked(i) for i in range(1, len(values) + 1)]
+        assert ranked == sorted(values, reverse=True)
+        for e in range(len(values)):
+            assert r.ranked(r.rank_of(e)) == pytest.approx(r.value(e))
+
+    @settings(max_examples=60, deadline=None)
+    @given(values_strategy, st.integers(1, 8))
+    def test_top_sum_matches_sorted_prefix(self, values, k):
+        r = RankedList(np.array(values))
+        want = sum(sorted(values, reverse=True)[:k])
+        assert r.top_sum(k) == pytest.approx(want)
+
+
+class TestIncrementalBoundProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values_strategy, st.data())
+    def test_admissibility_along_random_paths(self, values, data):
+        """Incremental bound always dominates rescan bound and path value."""
+        r = RankedList(np.array(values))
+        k = data.draw(st.integers(1, min(6, len(values))))
+        n_edges = data.draw(st.integers(1, min(k, len(values))))
+        path = data.draw(
+            st.lists(
+                st.integers(0, len(values) - 1),
+                min_size=n_edges,
+                max_size=n_edges,
+                unique=True,
+            )
+        )
+        bound, cursor = initial_bound(r, path[0], k)
+        for e in path[1:]:
+            bound, cursor = update_bound(r, bound, cursor, e)
+        value = sum(r.value(e) for e in path)
+        assert bound >= value - 1e-6
+        assert bound >= rescan_bound(r, path, k) - 1e-6
+        assert cursor >= 0
+
+
+class TestTspProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 7), st.integers(0, 10_000))
+    def test_two_opt_permutation_and_no_worse(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, (n, 2))
+        dist = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+        start = nearest_neighbor_order(dist)
+        improved = two_opt(dist, start)
+        assert sorted(improved) == list(range(n))
+        assert tour_length(dist, improved) <= tour_length(dist, start) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    def test_held_karp_at_most_heuristic(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, (n, 2))
+        dist = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+        exact = tour_length(dist, held_karp_order(dist))
+        heur = tour_length(dist, two_opt(dist, nearest_neighbor_order(dist)))
+        assert exact <= heur + 1e-9
+
+
+class TestPathProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=15))
+    def test_simple_sequence_definition(self, stops):
+        got = is_simple_stop_sequence(stops, allow_loop=False)
+        assert got == (len(set(stops)) == len(stops))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-10, 10, allow_nan=False),
+                st.floats(-10, 10, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    def test_turn_count_bounds(self, coords):
+        turns, sharp = count_turns(coords)
+        assert 0 <= turns <= max(len(coords) - 2, 0)
+        if sharp:
+            assert turns >= 1

@@ -1,0 +1,114 @@
+"""Property-based tests for max-flow / edge connectivity.
+
+Max-flow/min-cut duality is checked against brute-force cut enumeration
+on small random graphs — an independent implementation of the same
+quantity.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flow import FlowNetwork, edge_connectivity, local_edge_connectivity
+
+N = 7
+
+
+@st.composite
+def small_graph(draw):
+    m = draw(st.integers(0, 15))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return sorted({(min(u, v), max(u, v)) for u, v in pairs if u != v})
+
+
+def brute_force_st_cut(edges, s, t):
+    """Minimum number of edges whose removal separates s from t."""
+    best = len(edges)
+    for r in range(len(edges) + 1):
+        for removed in itertools.combinations(range(len(edges)), r):
+            kept = [e for i, e in enumerate(edges) if i not in removed]
+            if not _connected(kept, s, t):
+                return r
+    return best
+
+
+def _connected(edges, s, t):
+    adj = {}
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    seen = {s}
+    stack = [s]
+    while stack:
+        u = stack.pop()
+        if u == t:
+            return True
+        for v in adj.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return s == t
+
+
+class TestFlowProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graph(), st.integers(0, N - 1), st.integers(0, N - 1))
+    def test_maxflow_equals_min_cut(self, edges, s, t):
+        if s == t:
+            return
+        if len(edges) > 9:  # keep brute force tractable
+            edges = edges[:9]
+        want = brute_force_st_cut(edges, s, t)
+        got = local_edge_connectivity(N, edges, s, t)
+        assert got == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graph())
+    def test_global_connectivity_bounds(self, edges):
+        kappa = edge_connectivity(N, edges)
+        degrees = [0] * N
+        for u, v in edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        # kappa <= min degree, always.
+        assert kappa <= min(degrees)
+        # kappa > 0 iff connected (with more than one vertex).
+        connected = all(
+            _connected(edges, 0, v) for v in range(1, N)
+        )
+        assert (kappa > 0) == connected
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graph(), st.integers(0, N - 1), st.integers(0, N - 1))
+    def test_flow_symmetry(self, edges, s, t):
+        if s == t:
+            return
+        a = FlowNetwork(N, edges).max_flow(s, t)
+        b = FlowNetwork(N, edges).max_flow(t, s)
+        assert a == pytest.approx(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graph(), st.integers(0, N - 1), st.integers(0, N - 1))
+    def test_adding_edge_never_decreases_flow(self, edges, s, t):
+        if s == t:
+            return
+        base = FlowNetwork(N, edges).max_flow(s, t)
+        existing = set(edges)
+        extra = next(
+            ((u, v) for u in range(N) for v in range(u + 1, N)
+             if (u, v) not in existing),
+            None,
+        )
+        if extra is None:
+            return
+        more = FlowNetwork(N, edges + [extra]).max_flow(s, t)
+        assert more >= base - 1e-9

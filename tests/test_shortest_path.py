@@ -1,0 +1,128 @@
+"""Unit tests for the Dijkstra engines, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data.synth import SynthConfig, generate_road_network
+from repro.network.shortest_path import (
+    bidirectional_dijkstra,
+    dijkstra,
+    reconstruct_edge_path,
+    reconstruct_vertex_path,
+    shortest_path,
+    shortest_path_tree_demand,
+)
+from repro.utils.errors import GraphError
+
+
+@pytest.fixture(scope="module")
+def road():
+    return generate_road_network(SynthConfig(grid_width=8, grid_height=6, seed=3))
+
+
+@pytest.fixture(scope="module")
+def adj(road):
+    return road.adjacency_lists("length")
+
+
+@pytest.fixture(scope="module")
+def nx_graph(road):
+    return road.to_networkx()
+
+
+class TestDijkstra:
+    def test_matches_networkx_all_targets(self, road, adj, nx_graph):
+        dist, _, _ = dijkstra(adj, 0)
+        want = nx.single_source_dijkstra_path_length(nx_graph, 0, weight="length")
+        for v in range(road.n_vertices):
+            if v in want:
+                assert dist[v] == pytest.approx(want[v])
+            else:
+                assert math.isinf(dist[v])
+
+    def test_source_distance_zero(self, adj):
+        dist, pred_v, pred_e = dijkstra(adj, 5)
+        assert dist[5] == 0.0
+        assert pred_v[5] == -1 and pred_e[5] == -1
+
+    def test_early_termination_with_targets(self, adj):
+        dist, _, _ = dijkstra(adj, 0, targets=[1])
+        assert not math.isinf(dist[1])
+
+    def test_cutoff_prunes(self, adj):
+        dist, _, _ = dijkstra(adj, 0, cutoff=0.3)
+        finite = [d for d in dist if not math.isinf(d)]
+        assert all(d <= 0.3 for d in finite)
+
+    def test_bad_source_rejected(self, adj):
+        with pytest.raises(GraphError):
+            dijkstra(adj, len(adj) + 10)
+
+
+class TestReconstruction:
+    def test_vertex_path_endpoints(self, road, adj):
+        target = road.n_vertices - 1
+        dist, pred_v, pred_e = dijkstra(adj, 0)
+        path = reconstruct_vertex_path(pred_v, 0, target)
+        assert path[0] == 0 and path[-1] == target
+        edges = reconstruct_edge_path(pred_v, pred_e, 0, target)
+        assert len(edges) == len(path) - 1
+        # Edge path length equals the reported distance.
+        total = sum(road.edge_length(e) for e in edges)
+        assert total == pytest.approx(dist[target])
+
+    def test_path_to_self(self, adj):
+        _, pred_v, pred_e = dijkstra(adj, 2)
+        assert reconstruct_vertex_path(pred_v, 2, 2) == [2]
+        assert reconstruct_edge_path(pred_v, pred_e, 2, 2) == []
+
+    def test_unreachable_gives_empty(self):
+        # Two isolated vertices.
+        adj2 = [[], []]
+        dist, pred_v, pred_e = dijkstra(adj2, 0)
+        assert math.isinf(dist[1])
+        assert reconstruct_vertex_path(pred_v, 0, 1) == []
+        assert reconstruct_edge_path(pred_v, pred_e, 0, 1) == []
+
+
+class TestPointToPoint:
+    def test_shortest_path_wrapper(self, road, adj, nx_graph):
+        d, vpath, epath = shortest_path(adj, 0, road.n_vertices - 1)
+        want = nx.dijkstra_path_length(nx_graph, 0, road.n_vertices - 1, weight="length")
+        assert d == pytest.approx(want)
+        assert vpath[0] == 0 and vpath[-1] == road.n_vertices - 1
+
+    def test_bidirectional_matches_unidirectional(self, road, adj):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s, t = rng.integers(0, road.n_vertices, 2)
+            d_uni, _, _ = shortest_path(adj, int(s), int(t))
+            d_bi, path = bidirectional_dijkstra(adj, int(s), int(t))
+            assert d_bi == pytest.approx(d_uni)
+            if path:
+                assert path[0] == s and path[-1] == t
+
+    def test_bidirectional_same_vertex(self, adj):
+        d, path = bidirectional_dijkstra(adj, 3, 3)
+        assert d == 0.0 and path == [3]
+
+
+class TestTreeDemand:
+    def test_counts_sum_to_path_lengths(self, road, adj):
+        dests = {5: 2.0, 11: 1.0}
+        counts = shortest_path_tree_demand(adj, 0, dests)
+        # Total accumulated count equals sum over trips of path edge count.
+        total = sum(counts.values())
+        expected = 0.0
+        for dest, mult in dests.items():
+            _, vpath, epath = shortest_path(adj, 0, dest)
+            expected += mult * len(epath)
+        assert total == pytest.approx(expected)
+
+    def test_unreachable_destination_skipped(self):
+        adj2 = [[(1, 0, 1.0)], [(0, 0, 1.0)], []]
+        counts = shortest_path_tree_demand(adj2, 0, {2: 5.0, 1: 1.0})
+        assert counts == {0: 1.0}

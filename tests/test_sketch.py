@@ -1,0 +1,91 @@
+"""Unit tests for the randomized e^A sketch (fast increment mode)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.spectral.connectivity import natural_connectivity_exact
+from repro.spectral.sketch import ExpmSketch
+from repro.utils.errors import ValidationError
+
+
+def random_adjacency(n: int, p: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    dense = (upper | upper.T).astype(float)
+    return sp.csr_matrix(dense)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    A = random_adjacency(80, 0.05, 0)
+    sketch = ExpmSketch(A, n_probes=1500, lanczos_steps=15, seed=0)
+    expA = scipy.linalg.expm(A.toarray())
+    return A, sketch, expA
+
+
+class TestEntries:
+    def test_trace_estimate(self, setup):
+        _, sketch, expA = setup
+        assert sketch.trace_estimate == pytest.approx(np.trace(expA), rel=0.08)
+
+    def test_entry_estimates(self, setup):
+        _, sketch, expA = setup
+        # Diagonal entries are large; estimate within a modest tolerance.
+        for u in (0, 13, 40):
+            assert sketch.entry(u, u) == pytest.approx(expA[u, u], rel=0.25, abs=0.2)
+
+    def test_entries_vectorized_matches_scalar(self, setup):
+        _, sketch, _ = setup
+        pairs = np.array([[0, 1], [5, 9], [20, 21]])
+        vec = sketch.entries(pairs)
+        for row, got in zip(pairs, vec):
+            assert got == pytest.approx(sketch.entry(*row))
+
+    def test_bad_pairs(self, setup):
+        _, sketch, _ = setup
+        with pytest.raises(ValidationError):
+            sketch.entries(np.array([[0, 1, 2]]))
+        with pytest.raises(ValidationError):
+            sketch.entries(np.array([[0, 999]]))
+        with pytest.raises(ValidationError):
+            sketch.entry(-1, 0)
+
+
+class TestDeltaLambda:
+    def test_tracks_true_increment_ordering(self, setup):
+        """Sketch deltas should rank edges like the true increments."""
+        A, sketch, _ = setup
+        rng = np.random.default_rng(1)
+        lam = natural_connectivity_exact(A)
+        pairs = []
+        dense = A.toarray()
+        while len(pairs) < 12:
+            u, v = rng.integers(0, 80, 2)
+            if u != v and dense[u, v] == 0:
+                pairs.append((int(u), int(v)))
+        truth = []
+        for u, v in pairs:
+            d2 = dense.copy()
+            d2[u, v] = d2[v, u] = 1.0
+            truth.append(natural_connectivity_exact(d2) - lam)
+        est = sketch.delta_lambda_many(np.array(pairs))
+        # Rank correlation (Spearman-like): compare orderings loosely.
+        truth_rank = np.argsort(np.argsort(truth))
+        est_rank = np.argsort(np.argsort(est))
+        agreement = np.corrcoef(truth_rank, est_rank)[0, 1]
+        assert agreement > 0.6
+
+    def test_nonnegative(self, setup):
+        _, sketch, _ = setup
+        pairs = np.array([[0, 2], [3, 70], [11, 47]])
+        assert (sketch.delta_lambda_many(pairs) >= 0).all()
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            ExpmSketch(sp.csr_matrix((0, 0)))
+
+    def test_bad_probe_count(self):
+        with pytest.raises(ValidationError):
+            ExpmSketch(sp.csr_matrix((3, 3)), n_probes=0)

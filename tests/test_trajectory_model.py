@@ -1,0 +1,60 @@
+"""Unit tests for the trajectory model (Definition 3)."""
+
+import pytest
+
+from repro.network.road import RoadNetwork
+from repro.trajectory.trajectory import Trajectory
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def line_road() -> RoadNetwork:
+    net = RoadNetwork()
+    for i in range(4):
+        net.add_vertex(float(i), 0.0)
+    for i in range(3):
+        net.add_edge(i, i + 1)
+    return net
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Trajectory((0, 1, 2), (0, 1), (0.0, 1.0, 2.0))
+        assert t.n_edges == 2
+        assert t.origin == 0 and t.destination == 2
+
+    def test_single_vertex(self):
+        t = Trajectory((3,), ())
+        assert t.n_edges == 0
+        assert t.duration_min() == 0.0
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory((0, 1, 2), (0,))
+
+    def test_timestamp_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory((0, 1), (0,), (0.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory((), ())
+
+
+class TestFromVertexPath:
+    def test_builds_edges_and_times(self, line_road):
+        t = Trajectory.from_vertex_path(line_road, [0, 1, 2, 3])
+        assert t.edges == (0, 1, 2)
+        assert t.length_km(line_road) == pytest.approx(3.0)
+        assert t.duration_min() == pytest.approx(
+            sum(line_road.edge_travel_time(e) for e in t.edges)
+        )
+
+    def test_start_time_offset(self, line_road):
+        t = Trajectory.from_vertex_path(line_road, [0, 1], start_time=100.0)
+        assert t.timestamps[0] == 100.0
+        assert t.timestamps[1] > 100.0
+
+    def test_disconnected_rejected(self, line_road):
+        with pytest.raises(ValidationError):
+            Trajectory.from_vertex_path(line_road, [0, 2])

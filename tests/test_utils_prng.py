@@ -1,0 +1,69 @@
+"""Unit tests for RNG discipline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ValidationError
+from repro.utils.prng import child_rng, ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 5)
+        b = ensure_rng(7).integers(0, 1000, 5)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, 8)
+        b = ensure_rng(2).integers(0, 2**31, 8)
+        assert list(a) != list(b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_range(self):
+        seeds = spawn_seeds(3, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(5, 4) == spawn_seeds(5, 4)
+
+    def test_zero_count(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(1, -1)
+
+
+class TestChildRng:
+    def test_same_tag_same_stream(self):
+        a = child_rng(9, "trips").integers(0, 1000, 5)
+        b = child_rng(9, "trips").integers(0, 1000, 5)
+        assert list(a) == list(b)
+
+    def test_different_tags_differ(self):
+        a = child_rng(9, "trips").integers(0, 2**31, 8)
+        b = child_rng(9, "routes").integers(0, 2**31, 8)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = child_rng(1, "x").integers(0, 2**31, 8)
+        b = child_rng(2, "x").integers(0, 2**31, 8)
+        assert list(a) != list(b)
+
+    def test_generator_parent_draws(self):
+        parent = np.random.default_rng(0)
+        child = child_rng(parent, "anything")
+        assert isinstance(child, np.random.Generator)

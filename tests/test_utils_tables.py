@@ -1,0 +1,53 @@
+"""Unit tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000012345]])
+        assert "e-05" in out
+
+    def test_zero_rendering(self):
+        out = format_table(["x"], [[0.0]])
+        assert "| 0" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatSeries:
+    def test_basic_shape(self):
+        out = format_series([1, 2, 3], [0.1, 0.5, 0.9], title="curve")
+        lines = out.splitlines()
+        assert lines[0] == "curve"
+        assert len(lines) == 5  # title + 3 points + footer
+        # Monotone series should have monotone bar lengths.
+        bars = [line.count("#") for line in lines[1:4]]
+        assert bars == sorted(bars)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1.0])
+
+    def test_empty_series(self):
+        out = format_series([], [], title="t")
+        assert "(empty series)" in out
+
+    def test_constant_series_no_crash(self):
+        out = format_series([1, 2], [3.0, 3.0])
+        assert "3" in out

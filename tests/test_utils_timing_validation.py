@@ -1,0 +1,69 @@
+"""Unit tests for timing and validation helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.errors import ValidationError
+from repro.utils.timing import Timer, format_seconds
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_probability,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_lap_before_exit(self):
+        with Timer() as t:
+            lap = t.lap()
+            assert lap >= 0.0
+        assert t.elapsed >= lap
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value, expect",
+        [
+            (5e-7, "us"),
+            (0.005, "ms"),
+            (1.5, "s"),
+            (150.0, "m"),
+        ],
+    )
+    def test_units(self, value, expect):
+        assert expect in format_seconds(value)
+
+    def test_negative(self):
+        assert format_seconds(-0.5).startswith("-")
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        require_positive(1e-9, "x")
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+    def test_require_in_range_bounds_inclusive(self):
+        require_in_range(0.0, 0.0, 1.0, "x")
+        require_in_range(1.0, 0.0, 1.0, "x")
+        with pytest.raises(ValidationError):
+            require_in_range(1.0001, 0.0, 1.0, "x")
+
+    def test_require_probability(self):
+        require_probability(0.5, "p")
+        with pytest.raises(ValidationError):
+            require_probability(-0.1, "p")
