@@ -33,6 +33,7 @@ from repro.spectral.connectivity import (
 )
 from repro.spectral.eigs import top_k_eigenvalues
 from repro.spectral.norms import spectral_norm
+from repro.sweep import Scenario, sweep_precomputation
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
 
@@ -362,15 +363,17 @@ def table6_effectiveness(cities=("chicago",) + BOROUGHS) -> dict:
 
 
 def table6_weight_sweep(city: str = "chicago", weights=(0.0, 0.3, 0.7)) -> dict:
-    """The gray rows of Table 6: ETA-Pre under different w."""
+    """The gray rows of Table 6: ETA-Pre under different w (sweep engine)."""
     pre = get_precomputation(city)
+    outcomes = sweep_precomputation(
+        pre, [Scenario(name=f"w={w}", overrides={"w": w}) for w in weights]
+    )
     rows = []
     results = {}
-    for w in weights:
-        swept = rebind(pre, pre.config.variant(w=w))
-        res = run_eta_pre(swept)
+    for w, out in zip(weights, outcomes):
+        res = out.result
         ev = evaluate_planned_route(
-            swept, res.route, objective=res.objective,
+            out.precomputation, res.route, objective=res.objective,
             o_lambda_normalized=res.o_lambda_normalized,
         ) if res.route else None
         results[w] = (res, ev)
@@ -403,10 +406,16 @@ def table7_runtime_vs_k(cities=("chicago", "nyc"), ks=(10, 20, 30, 40, 50)) -> d
     results: dict[int, dict[str, float]] = {k: {} for k in ks}
     for city in cities:
         pre = get_precomputation(city)
+        scenarios = []
         for k in ks:
-            swept = rebind(pre, pre.config.variant(k=k))
-            eta_res = capped_eta(swept)
-            pre_res = run_eta_pre(swept)
+            scenarios.append(Scenario(
+                name=f"k={k}:eta", method="eta",
+                overrides={"k": k, "max_iterations": BENCH_ETA_ITERATIONS},
+            ))
+            scenarios.append(Scenario(name=f"k={k}:eta-pre", overrides={"k": k}))
+        outcomes = sweep_precomputation(pre, scenarios)
+        for k, (eta_out, pre_out) in zip(ks, zip(outcomes[::2], outcomes[1::2])):
+            eta_res, pre_res = eta_out.result, pre_out.result
             results[k][f"{city}-eta"] = eta_res.runtime_s
             results[k][f"{city}-eta-pre"] = pre_res.runtime_s
             results[k][f"{city}-eta-iters"] = max(eta_res.iterations, 1)

@@ -17,11 +17,10 @@ from repro.bench.harness import (
 )
 from repro.core.eta import run_eta, run_eta_all
 from repro.core.eta_pre import run_eta_pre
-from repro.core.objective import PrecomputedStrategy
-from repro.core.eta import ExpansionEngine
 from repro.core.precompute import rebind
 from repro.eval.metrics import evaluate_planned_route
 from repro.spectral.connectivity import NaturalConnectivityEstimator
+from repro.sweep import Scenario, sweep_precomputation
 from repro.utils.prng import child_rng
 from repro.utils.tables import format_series, format_table
 
@@ -288,17 +287,20 @@ def fig9_convergence(city: str) -> dict:
 # ----------------------------------------------------------------------
 def fig10_k_increments(city: str, ks=(10, 20, 30, 40, 50, 60)) -> dict:
     pre = get_precomputation(city)
+    outcomes = sweep_precomputation(
+        pre, [Scenario(name=f"k={k}", overrides={"k": k}) for k in ks]
+    )
     out = {}
     rows = []
-    for k in ks:
-        swept = rebind(pre, pre.config.variant(k=k))
-        res = run_eta_pre(swept)
+    for k, outcome in zip(ks, outcomes):
+        res = outcome.result
+        w = outcome.precomputation.config.w
         out[k] = res
         rows.append([
             k,
             round(res.objective, 4),
-            round(res.o_d_normalized * swept.config.w, 4),
-            round(res.o_lambda_normalized * (1 - swept.config.w), 4),
+            round(res.o_d_normalized * w, 4),
+            round(res.o_lambda_normalized * (1 - w), 4),
             res.route.n_edges if res.route else 0,
         ])
     text = format_table(
@@ -322,21 +324,25 @@ def fig11_weight_sensitivity(city: str, weights=(0.3, 0.5, 0.7)) -> dict:
     pre = get_precomputation(city)
     out = {}
     rows = []
-    for w in weights:
-        for variant, overrides in (
-            ("eta-pre", {}),
-            ("eta-an", {"expansion": "all"}),
-            ("eta-dt", {"use_domination": False}),
-        ):
-            cfg = pre.config.variant(w=w, **overrides)
-            swept = rebind(pre, cfg)
-            res = ExpansionEngine(swept, PrecomputedStrategy(swept)).run()
-            out[(w, variant)] = res
-            rows.append([
-                w, variant, res.iterations, round(res.search_score, 4),
-                round(res.runtime_s, 4), res.queue_pushes,
-                res.pruned_by_domination,
-            ])
+    variants = (
+        ("eta-pre", {}),
+        ("eta-an", {"expansion": "all"}),
+        ("eta-dt", {"use_domination": False}),
+    )
+    keys = [(w, variant) for w in weights for variant, _ in variants]
+    outcomes = sweep_precomputation(pre, [
+        Scenario(name=f"w={w}:{variant}", overrides={"w": w, **overrides})
+        for w in weights
+        for variant, overrides in variants
+    ])
+    for (w, variant), outcome in zip(keys, outcomes):
+        res = outcome.result
+        out[(w, variant)] = res
+        rows.append([
+            w, variant, res.iterations, round(res.search_score, 4),
+            round(res.runtime_s, 4), res.queue_pushes,
+            res.pruned_by_domination,
+        ])
     text = format_table(
         ["w", "variant", "iterations", "search score", "runtime (s)",
          "queue pushes", "pruned by DT"],
@@ -364,9 +370,12 @@ def fig12_param_sensitivity(city: str) -> dict:
         + [("Tn", tn, {"max_turns": tn}) for tn in (1, 3, 5)]
         + [("sn", sn, {"seed_count": sn}) for sn in (300, 1000, 3000)]
     )
-    for param, value, overrides in sweeps:
-        swept = rebind(pre, pre.config.variant(**overrides))
-        res = run_eta_pre(swept)
+    outcomes = sweep_precomputation(pre, [
+        Scenario(name=f"{param}={value}", overrides=overrides)
+        for param, value, overrides in sweeps
+    ])
+    for (param, value, _), outcome in zip(sweeps, outcomes):
+        res = outcome.result
         out[(param, value)] = res
         rows.append([
             param, value, res.iterations, round(res.search_score, 4),

@@ -4,6 +4,8 @@ Commands
 --------
 ``stats``    print dataset statistics (Table 5 style).
 ``plan``     plan a route on a canned city and print route + metrics.
+``sweep``    run a scenario grid in parallel with a persistent
+             precomputation cache.
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
 
@@ -11,6 +13,9 @@ Examples::
 
     python -m repro stats --city chicago --profile small
     python -m repro plan --city bronx --method eta-pre --k 16 --w 0.3
+    python -m repro sweep --city chicago --methods eta-pre,vk-tsp \\
+        --weights 0.3,0.5,0.7
+    python -m repro sweep --grid grid.yaml --cache-dir .repro-cache
     python -m repro removal --city nyc --profile small
     python -m repro bounds --city chicago --k 15
 """
@@ -22,7 +27,7 @@ import sys
 
 from repro.core.config import PlannerConfig
 from repro.core.planner import METHODS, CTBusPlanner
-from repro.data.datasets import borough_like, chicago_like, list_profiles, nyc_like
+from repro.data.datasets import CITY_NAMES, canned_city, list_profiles
 from repro.eval.metrics import evaluate_planned_route
 from repro.spectral.bounds import (
     estrada_upper_bound,
@@ -31,19 +36,12 @@ from repro.spectral.bounds import (
 )
 from repro.spectral.connectivity import NaturalConnectivityEstimator
 from repro.spectral.eigs import top_k_eigenvalues
+from repro.utils.errors import DataError, PlanningError, ValidationError
 from repro.utils.tables import format_series, format_table
 
-CITY_CHOICES = (
-    "chicago", "nyc", "manhattan", "queens", "brooklyn", "staten_island", "bronx",
-)
+CITY_CHOICES = CITY_NAMES
 
-
-def _load_city(name: str, profile: str):
-    if name == "chicago":
-        return chicago_like(profile)
-    if name == "nyc":
-        return nyc_like(profile)
-    return borough_like(name, profile)
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _add_city_args(parser: argparse.ArgumentParser) -> None:
@@ -52,14 +50,14 @@ def _add_city_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_stats(args) -> int:
-    ds = _load_city(args.city, args.profile)
+    ds = canned_city(args.city, args.profile)
     rows = [[k, v] for k, v in ds.stats().items()]
     print(format_table(["stat", "value"], rows, title=f"{ds.name}"))
     return 0
 
 
 def _cmd_plan(args) -> int:
-    ds = _load_city(args.city, args.profile)
+    ds = canned_city(args.city, args.profile)
     config = PlannerConfig(
         k=args.k,
         w=args.w,
@@ -104,8 +102,74 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _parse_values(text: str, cast):
+    try:
+        return [cast(v.strip()) for v in text.split(",") if v.strip() != ""]
+    except ValueError:
+        raise DataError(
+            f"bad axis value list {text!r}: expected comma-separated "
+            f"{cast.__name__} values"
+        ) from None
+
+
+def _sweep_scenarios(args):
+    """Build the scenario list + base config from CLI flags or a grid file."""
+    from repro.sweep import expand_grid, load_grid
+
+    if args.grid:
+        return load_grid(args.grid)
+    axes = {}
+    methods = _parse_values(args.methods, str)
+    if methods:
+        axes["method"] = methods
+    if args.weights:
+        axes["w"] = _parse_values(args.weights, float)
+    if args.ks:
+        axes["k"] = _parse_values(args.ks, int)
+    base = PlannerConfig(
+        k=args.k,
+        tau_km=args.tau,
+        max_iterations=args.iterations,
+        seed_count=args.seed_count,
+    )
+    scenarios = expand_grid(
+        axes, city=args.city, profile=args.profile, route_count=args.count
+    )
+    for s in scenarios:
+        s.validate(base)
+    return scenarios, base
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweep import SweepRunner, cache_summary, outcomes_table
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        scenarios, base = _sweep_scenarios(args)
+        runner = SweepRunner(
+            base_config=base,
+            cache_dir=cache_dir,
+            workers=args.workers,
+            base_seed=args.seed,
+        )
+        outcomes = runner.run(scenarios)
+    except (PlanningError, ValidationError, DataError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(outcomes_table(
+        outcomes,
+        title=(
+            f"sweep: {len(outcomes)} scenarios across "
+            f"{runner.last_worker_count} workers"
+        ),
+    ))
+    print()
+    print(cache_summary(outcomes, cache_dir))
+    return 0
+
+
 def _cmd_removal(args) -> int:
-    ds = _load_city(args.city, args.profile)
+    ds = canned_city(args.city, args.profile)
     transit = ds.transit
     estimator = NaturalConnectivityEstimator(transit.n_stops)
     step = max(transit.n_routes // args.points, 1)
@@ -122,7 +186,7 @@ def _cmd_removal(args) -> int:
 
 
 def _cmd_bounds(args) -> int:
-    ds = _load_city(args.city, args.profile)
+    ds = canned_city(args.city, args.profile)
     A = ds.transit.adjacency()
     n = ds.transit.n_stops
     estimator = NaturalConnectivityEstimator(n)
@@ -168,6 +232,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--evaluate", action="store_true",
                         help="also compute transfer-convenience metrics")
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a scenario grid with a persistent precompute cache"
+    )
+    _add_city_args(p_sweep)
+    p_sweep.set_defaults(profile="tiny")
+    p_sweep.add_argument("--grid", default="",
+                         help="YAML/JSON grid file; replaces ALL inline axis "
+                              "and base-config flags (--methods/--weights/"
+                              "--ks/--k/--tau/--iterations/--seed-count/"
+                              "--count/--city/--profile)")
+    p_sweep.add_argument("--methods", default="eta-pre,vk-tsp",
+                         help="comma-separated method axis")
+    p_sweep.add_argument("--weights", default="0.3,0.5,0.7",
+                         help="comma-separated w axis")
+    p_sweep.add_argument("--ks", default="", help="comma-separated k axis")
+    p_sweep.add_argument("--k", type=int, default=12, help="base k")
+    p_sweep.add_argument("--tau", type=float, default=0.5)
+    p_sweep.add_argument("--iterations", type=int, default=500)
+    p_sweep.add_argument("--seed-count", type=int, default=200)
+    p_sweep.add_argument("--count", type=int, default=1,
+                         help="routes per scenario (multi-route planning)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process count (default: min(#scenarios, cpus))")
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="sweep-wide seed (default: the base config's)")
+    p_sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help="persistent precomputation cache directory")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the precomputation cache")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
     _add_city_args(p_removal)

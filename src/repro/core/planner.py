@@ -27,39 +27,71 @@ from repro.utils.errors import PlanningError
 METHODS = ("eta-pre", "eta", "eta-all", "vk-tsp")
 
 
-class CTBusPlanner:
-    """Plan new bus routes over a dataset."""
+def run_method(pre: Precomputation, method: str) -> PlanResult:
+    """Run one planner variant against a prepared precomputation.
 
-    def __init__(self, dataset: Dataset, config: "PlannerConfig | None" = None):
+    The single dispatch point shared by :meth:`CTBusPlanner.plan` and
+    the sweep engine, so both are guaranteed to agree method-for-method.
+    """
+    if method not in METHODS:
+        raise PlanningError(f"unknown method {method!r}; choose from {METHODS}")
+    if method == "eta-pre":
+        return run_eta_pre(pre)
+    if method == "eta":
+        return run_eta(pre)
+    if method == "eta-all":
+        return run_eta_all(pre)
+    # vk-TSP: demand-only objective over new edges, same traversal;
+    # the baseline re-normalizes with the caller's w so Table 6-style
+    # comparisons are apples-to-apples.
+    from repro.baselines.demand_first import run_vk_tsp
+
+    return run_vk_tsp(pre)
+
+
+class CTBusPlanner:
+    """Plan new bus routes over a dataset.
+
+    ``cache`` (optional) is a :class:`repro.sweep.cache.PrecomputationCache`
+    — or anything with its ``fetch_or_compute(dataset, config)`` shape —
+    shared across planners, worker processes, and CLI invocations so
+    warm artifacts replace the expensive precomputation entirely.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: "PlannerConfig | None" = None,
+        cache=None,
+    ):
         self.dataset = dataset
         self.config = config or PlannerConfig()
+        self.cache = cache
         self._pre: "Precomputation | None" = None
+        #: Whether the precomputation came from the cache (``None`` until
+        #: it is built, or when no cache is attached).
+        self.precompute_cache_hit: "bool | None" = None
 
     # ------------------------------------------------------------------
     @property
     def precomputation(self) -> Precomputation:
         """The shared pre-computation (built lazily, cached)."""
         if self._pre is None:
-            self._pre = precompute(self.dataset, self.config)
+            if self.cache is not None:
+                self._pre, self.precompute_cache_hit = self.cache.fetch_or_compute(
+                    self.dataset, self.config
+                )
+            else:
+                self._pre = precompute(self.dataset, self.config)
         return self._pre
 
     def plan(self, method: str = "eta-pre") -> PlanResult:
         """Run one planner variant and return its result."""
         if method not in METHODS:
+            # Duplicates run_method's guard on purpose: fail before the
+            # (potentially very expensive) lazy precomputation is built.
             raise PlanningError(f"unknown method {method!r}; choose from {METHODS}")
-        pre = self.precomputation
-        if method == "eta-pre":
-            return run_eta_pre(pre)
-        if method == "eta":
-            return run_eta(pre)
-        if method == "eta-all":
-            return run_eta_all(pre)
-        # vk-TSP: demand-only objective over new edges, same traversal;
-        # the baseline re-normalizes with the caller's w so Table 6-style
-        # comparisons are apples-to-apples.
-        from repro.baselines.demand_first import run_vk_tsp
-
-        return run_vk_tsp(pre)
+        return run_method(self.precomputation, method)
 
     def plan_constrained(self, constraints, method: str = "eta-pre") -> PlanResult:
         """Interactive replanning under :class:`PlanningConstraints`.
@@ -72,6 +104,13 @@ class CTBusPlanner:
         if method not in ("eta-pre", "eta"):
             raise PlanningError(
                 f"constrained planning supports 'eta-pre' and 'eta', got {method!r}"
+            )
+        from repro.core.constraints import PlanningConstraints
+
+        if not isinstance(constraints, PlanningConstraints):
+            raise PlanningError(
+                "plan_constrained requires a PlanningConstraints instance, got "
+                f"{type(constraints).__name__}; use plan() for unconstrained runs"
             )
         from repro.core.eta import ExpansionEngine
         from repro.core.objective import OnlineStrategy, PrecomputedStrategy
@@ -121,4 +160,4 @@ class CTBusPlanner:
             f"planned-{transit.n_routes}", list(route.stops), lengths, road_paths
         )
         new_dataset = dataclass_replace(self.dataset, road=road, transit=transit)
-        return CTBusPlanner(new_dataset, self.config)
+        return CTBusPlanner(new_dataset, self.config, cache=self.cache)

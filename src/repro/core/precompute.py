@@ -19,13 +19,15 @@ without repeating the expensive per-edge increment estimation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import os
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.core.bounds import RankedList
 from repro.core.config import PlannerConfig
-from repro.core.edges import EdgeUniverse
+from repro.core.edges import EdgeUniverse, PlanEdge
 from repro.core.seeding import build_edge_universe
 from repro.data.datasets import Dataset
 from repro.network.adjacency import AdjacencyBuilder
@@ -33,7 +35,21 @@ from repro.spectral.bounds import path_upper_bound_increment
 from repro.spectral.connectivity import NaturalConnectivityEstimator
 from repro.spectral.eigs import top_k_eigenvalues
 from repro.spectral.sketch import ExpmSketch
+from repro.utils.errors import DataError
 from repro.utils.timing import Timer
+
+ARTIFACT_FORMAT = 1
+"""On-disk artifact format version (bump on incompatible layout changes)."""
+
+PRECOMPUTE_CONFIG_FIELDS = (
+    "tau_km", "increment_mode", "n_probes", "lanczos_steps", "seed",
+)
+"""Config fields that determine the expensive artifacts.
+
+Everything else (``k``, ``w``, ``seed_count``, traversal knobs, ...)
+only affects the cheap derived state that :func:`rebind` re-creates, so
+saved artifacts are shared across those sweeps.
+"""
 
 
 @dataclass
@@ -55,10 +71,174 @@ class Precomputation:
     timings: dict[str, float] = field(default_factory=dict)
     road: object = None
     """The dataset's road network (used by baselines for stitching)."""
+    spectrum_widened: bool = False
+    """Set by :meth:`load` when the saved spectrum was too short for the
+    requested ``k`` and had to be recomputed — a signal to re-persist."""
 
     @property
     def n_candidate_edges(self) -> int:
         return self.universe.n_new_edges
+
+    # ------------------------------------------------------------------
+    # Persistence (npz + json artifact pair)
+    # ------------------------------------------------------------------
+    def save(self, prefix: str) -> tuple[str, str]:
+        """Write the expensive artifacts to ``<prefix>.npz`` + ``<prefix>.json``.
+
+        Only state that is costly to recompute is persisted: the edge
+        universe (including its shortest-road-path pricing), the per-edge
+        connectivity increments ``Delta(e)``, the base connectivity, and
+        the top eigenvalues. The builder/estimator and the cheap derived
+        artifacts (ranked lists, normalizers, bounds) are reconstructed
+        by :meth:`load` from the dataset and config.
+
+        Returns the ``(npz_path, json_path)`` pair that was written.
+        """
+        uni = self.universe
+        road_paths = [e.road_path for e in uni.edges]
+        offsets = np.zeros(len(road_paths) + 1, dtype=np.int64)
+        if road_paths:
+            offsets[1:] = np.cumsum([len(p) for p in road_paths])
+        flat = (
+            np.concatenate([np.asarray(p, dtype=np.int64) for p in road_paths])
+            if offsets[-1] > 0
+            else np.zeros(0, dtype=np.int64)
+        )
+        npz_path = f"{prefix}.npz"
+        json_path = f"{prefix}.json"
+        np.savez(
+            npz_path,
+            edge_u=np.asarray([e.u for e in uni.edges], dtype=np.int64),
+            edge_v=np.asarray([e.v for e in uni.edges], dtype=np.int64),
+            edge_length=uni.length,
+            edge_demand=uni.demand,
+            edge_is_new=uni.is_new,
+            edge_transit_eid=np.asarray(
+                [e.transit_eid for e in uni.edges], dtype=np.int64
+            ),
+            road_path_flat=flat,
+            road_path_offsets=offsets,
+            delta=uni.delta,
+            top_eigenvalues=np.asarray(self.top_eigenvalues, dtype=float),
+            lambda_base=np.float64(self.lambda_base),
+        )
+        meta = {
+            "format": ARTIFACT_FORMAT,
+            "n_stops": uni.n_stops,
+            "n_edges": len(uni),
+            "config": asdict(self.config),
+            "timings": self.timings,
+        }
+        with open(json_path, "w") as f:
+            json.dump(meta, f, indent=1, sort_keys=True)
+        return npz_path, json_path
+
+    @classmethod
+    def load(
+        cls, prefix: str, dataset: Dataset, config: PlannerConfig
+    ) -> "Precomputation":
+        """Rebuild a precomputation from :meth:`save` artifacts.
+
+        ``config`` may differ from the saved config in any field outside
+        :data:`PRECOMPUTE_CONFIG_FIELDS` — the cheap derived artifacts are
+        re-derived for it, exactly like :func:`rebind`. A mismatch in a
+        precompute-relevant field (or a dataset of the wrong shape) raises
+        :class:`DataError`: the artifacts would be silently wrong.
+        """
+        json_path = f"{prefix}.json"
+        npz_path = f"{prefix}.npz"
+        if not (os.path.exists(json_path) and os.path.exists(npz_path)):
+            raise DataError(f"no precomputation artifacts at {prefix!r}")
+        with open(json_path) as f:
+            meta = json.load(f)
+        if meta.get("format") != ARTIFACT_FORMAT:
+            raise DataError(
+                f"artifact format {meta.get('format')!r} != {ARTIFACT_FORMAT}"
+            )
+        saved_cfg = meta["config"]
+        for name in PRECOMPUTE_CONFIG_FIELDS:
+            if saved_cfg.get(name) != getattr(config, name):
+                raise DataError(
+                    f"saved artifacts used {name}={saved_cfg.get(name)!r} but the "
+                    f"requested config has {name}={getattr(config, name)!r}; "
+                    f"run precompute()"
+                )
+        transit = dataset.transit
+        if transit.n_stops != meta["n_stops"]:
+            raise DataError(
+                f"dataset has {transit.n_stops} stops but artifacts were saved "
+                f"for {meta['n_stops']}"
+            )
+
+        with np.load(npz_path) as arrays:
+            edge_u = arrays["edge_u"]
+            edge_v = arrays["edge_v"]
+            length = arrays["edge_length"]
+            demand = arrays["edge_demand"]
+            is_new = arrays["edge_is_new"]
+            transit_eid = arrays["edge_transit_eid"]
+            flat = arrays["road_path_flat"]
+            offsets = arrays["road_path_offsets"]
+            delta = arrays["delta"]
+            top_eigs = arrays["top_eigenvalues"]
+            lambda_base = float(arrays["lambda_base"])
+        if len(edge_u) != meta["n_edges"]:
+            raise DataError("artifact npz/json disagree on universe size")
+
+        edges = [
+            PlanEdge(
+                index=i,
+                u=int(edge_u[i]),
+                v=int(edge_v[i]),
+                length=float(length[i]),
+                demand=float(demand[i]),
+                is_new=bool(is_new[i]),
+                transit_eid=int(transit_eid[i]),
+                road_path=tuple(
+                    int(x) for x in flat[offsets[i]:offsets[i + 1]]
+                ),
+            )
+            for i in range(len(edge_u))
+        ]
+        # Structural guard: the artifact's existing-edge slice must mirror
+        # the dataset's transit edges, or every downstream number is built
+        # on a different graph. (Demand/coordinate drift is the cache
+        # key's job — this catches the worst raw-API misuse cheaply.)
+        existing = [e for e in edges if not e.is_new]
+        if len(existing) != transit.n_edges:
+            raise DataError(
+                f"dataset has {transit.n_edges} transit edges but artifacts "
+                f"were saved for {len(existing)}"
+            )
+        for e in existing:
+            u, v = transit.edge_endpoints(e.transit_eid)
+            if {e.u, e.v} != {u, v}:
+                raise DataError(
+                    "artifact transit edges do not match the dataset; "
+                    "these artifacts belong to a different graph"
+                )
+        universe = EdgeUniverse(transit, edges)
+        universe.set_deltas(delta)
+
+        builder = AdjacencyBuilder(transit.n_stops, transit.edge_list())
+        estimator = NaturalConnectivityEstimator(
+            transit.n_stops,
+            n_probes=config.n_probes,
+            lanczos_steps=config.lanczos_steps,
+            seed=config.seed,
+        )
+        n_eigs = max(2 * config.k, (config.k + 1) // 2, 1)
+        widened = False
+        if len(top_eigs) < min(n_eigs, universe.n_stops):
+            top_eigs = top_k_eigenvalues(builder.base(), n_eigs)
+            widened = True
+        timings = dict(meta.get("timings", {}))
+        pre = _finalize(
+            universe, builder, estimator, lambda_base, top_eigs, config, timings
+        )
+        pre.road = dataset.road
+        pre.spectrum_widened = widened
+        return pre
 
 
 def compute_edge_increments(

@@ -31,6 +31,11 @@ from repro.utils.errors import DataError
 
 PROFILES = ("tiny", "small", "bench", "paper")
 
+CITY_NAMES = (
+    "chicago", "nyc", "manhattan", "queens", "brooklyn", "staten_island", "bronx",
+)
+"""Every canned city accepted by :func:`canned_city` (and the CLI)."""
+
 
 def list_profiles() -> tuple[str, ...]:
     """The supported dataset profiles, smallest to largest."""
@@ -194,3 +199,12 @@ def borough_like(name: str, profile: str = "bench") -> Dataset:
     if key not in _BOROUGHS:
         raise DataError(f"unknown borough {name!r}; choose from {sorted(_BOROUGHS)}")
     return build_dataset(_sized(_BOROUGHS[key], profile))
+
+
+def canned_city(name: str, profile: str = "bench") -> Dataset:
+    """Any canned city by name (see :data:`CITY_NAMES`)."""
+    if name == "chicago":
+        return chicago_like(profile)
+    if name == "nyc":
+        return nyc_like(profile)
+    return borough_like(name, profile)

@@ -1,0 +1,211 @@
+"""Persistent precomputation cache keyed by content hashes.
+
+The cache key is ``sha256(dataset fingerprint || config fingerprint)``:
+
+* the **dataset fingerprint** hashes every array that feeds the
+  pre-computation — road coordinates, edges, lengths, travel times, and
+  demand counts; transit stop coordinates, road affiliations, edges,
+  edge lengths, edge road paths, and route stop sequences. Any
+  perturbation of demand, graph structure, or edge weights therefore
+  changes the key. Dataset *names* are deliberately excluded: two
+  builds with identical content share artifacts.
+* the **config fingerprint** hashes only
+  :data:`repro.core.precompute.PRECOMPUTE_CONFIG_FIELDS`
+  (``tau_km``, ``increment_mode``, ``n_probes``, ``lanczos_steps``,
+  ``seed``). Search-side knobs (``k``, ``w``, ``seed_count``, ...) are
+  excluded so a whole parameter sweep hits one warm entry.
+
+Artifacts live flat in the cache directory as ``<key>.npz`` +
+``<key>.json`` (see :meth:`repro.core.precompute.Precomputation.save`).
+Writes go through temp files renamed into place, npz first and json
+last, so the json file doubles as a commit marker and concurrent
+workers racing on the same key are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.config import PlannerConfig
+from repro.core.precompute import (
+    PRECOMPUTE_CONFIG_FIELDS,
+    Precomputation,
+    precompute,
+)
+from repro.data.datasets import Dataset
+
+KEY_LENGTH = 32
+"""Hex characters kept from the sha256 digest (128 bits)."""
+
+
+def _update_with_array(h, label: str, values) -> None:
+    """Feed ``label`` + dtype + shape + raw bytes of ``values`` into ``h``."""
+    arr = np.ascontiguousarray(values)
+    h.update(label.encode())
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def _update_with_ragged(h, label: str, sequences) -> None:
+    """Hash a list of int sequences as (flat values, offsets)."""
+    lengths = [len(s) for s in sequences]
+    flat = [int(x) for s in sequences for x in s]
+    _update_with_array(h, f"{label}.lengths", np.asarray(lengths, dtype=np.int64))
+    _update_with_array(h, f"{label}.flat", np.asarray(flat, dtype=np.int64))
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content hash of everything the pre-computation reads from ``dataset``."""
+    h = hashlib.sha256()
+    road = dataset.road
+    _update_with_array(h, "road.coords", road.coords)
+    road_edges = [road.edge_endpoints(e) for e in range(road.n_edges)]
+    _update_with_array(
+        h, "road.edges", np.asarray(road_edges, dtype=np.int64).reshape(-1, 2)
+    )
+    _update_with_array(h, "road.lengths", road.edge_lengths())
+    _update_with_array(h, "road.times", road.edge_travel_times())
+    _update_with_array(h, "road.demand", road.demand_counts())
+
+    transit = dataset.transit
+    _update_with_array(h, "transit.coords", transit.stop_coords)
+    _update_with_array(
+        h,
+        "transit.road_vertex",
+        np.asarray(
+            [transit.stop_road_vertex(s) for s in range(transit.n_stops)],
+            dtype=np.int64,
+        ),
+    )
+    _update_with_array(
+        h, "transit.edges", np.asarray(transit.edge_list(), dtype=np.int64).reshape(-1, 2)
+    )
+    _update_with_array(
+        h,
+        "transit.edge_lengths",
+        np.asarray(
+            [transit.edge_length(e) for e in range(transit.n_edges)], dtype=float
+        ),
+    )
+    _update_with_ragged(
+        h,
+        "transit.road_paths",
+        [transit.edge_road_path(e) for e in range(transit.n_edges)],
+    )
+    _update_with_ragged(h, "transit.routes", [r.stops for r in transit.routes])
+    return h.hexdigest()
+
+
+def config_fingerprint(config: PlannerConfig) -> str:
+    """Content hash of the precompute-relevant config fields only."""
+    relevant = {name: getattr(config, name) for name in PRECOMPUTE_CONFIG_FIELDS}
+    blob = json.dumps(relevant, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_key(dataset: Dataset, config: PlannerConfig) -> str:
+    """The artifact key for ``(dataset, config)``."""
+    h = hashlib.sha256()
+    h.update(dataset_fingerprint(dataset).encode())
+    h.update(b"|")
+    h.update(config_fingerprint(config).encode())
+    return h.hexdigest()[:KEY_LENGTH]
+
+
+class PrecomputationCache:
+    """Filesystem-backed precomputation store with hit/miss accounting.
+
+    Safe to share one directory across processes and successive CLI
+    invocations: entries are immutable once committed, writes are
+    atomic renames, and a corrupt/partial entry is treated as a miss.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, dataset: Dataset, config: PlannerConfig) -> str:
+        return cache_key(dataset, config)
+
+    def _prefix(self, key: str) -> str:
+        return os.path.join(self.directory, key)
+
+    def contains(self, key: str) -> bool:
+        prefix = self._prefix(key)
+        return os.path.exists(f"{prefix}.json") and os.path.exists(f"{prefix}.npz")
+
+    @property
+    def n_entries(self) -> int:
+        """Committed entries on disk (json commit markers)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for n in names if n.endswith(".json") and ".tmp" not in n)
+
+    # ------------------------------------------------------------------
+    def load(self, dataset: Dataset, config: PlannerConfig) -> "Precomputation | None":
+        """The cached precomputation for ``(dataset, config)``, or ``None``.
+
+        Does not touch the hit/miss counters; use :meth:`fetch_or_compute`
+        for accounted access.
+        """
+        key = self.key_for(dataset, config)
+        if not self.contains(key):
+            return None
+        try:
+            return Precomputation.load(self._prefix(key), dataset, config)
+        except Exception:
+            return None  # corrupt or stale-format entry: recompute
+
+    def store(self, pre: Precomputation, dataset: Dataset) -> str:
+        """Persist ``pre`` under its content key; returns the key."""
+        key = self.key_for(dataset, pre.config)
+        fd, tmp_prefix = tempfile.mkstemp(prefix=f"{key}.tmp", dir=self.directory)
+        os.close(fd)
+        os.unlink(tmp_prefix)
+        try:
+            pre.save(tmp_prefix)
+            # npz first, json (the commit marker) last.
+            os.replace(f"{tmp_prefix}.npz", f"{self._prefix(key)}.npz")
+            os.replace(f"{tmp_prefix}.json", f"{self._prefix(key)}.json")
+        finally:
+            for suffix in (".npz", ".json"):
+                try:
+                    os.unlink(f"{tmp_prefix}{suffix}")
+                except OSError:
+                    pass
+        return key
+
+    def fetch_or_compute(
+        self, dataset: Dataset, config: PlannerConfig
+    ) -> tuple[Precomputation, bool]:
+        """``(precomputation, was_hit)`` — loading, or computing + storing."""
+        pre = self.load(dataset, config)
+        if pre is not None:
+            self.hits += 1
+            if pre.spectrum_widened:
+                # A larger k forced a spectrum recompute on load; persist
+                # the widened artifact so later loads skip it.
+                self.store(pre, dataset)
+                pre.spectrum_widened = False
+            return pre, True
+        self.misses += 1
+        pre = precompute(dataset, config)
+        self.store(pre, dataset)
+        return pre, False
+
+    def __repr__(self) -> str:
+        return (
+            f"PrecomputationCache({self.directory!r}, entries={self.n_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,332 @@
+"""Sweep execution: parallel scenario grids and in-process config sweeps.
+
+:class:`SweepRunner` fans a scenario grid out over a
+``ProcessPoolExecutor``. Each worker rebuilds its (deterministic)
+dataset, resolves the scenario's planner config, and plans through the
+regular :class:`~repro.core.planner.CTBusPlanner` facade — so sweep
+results are *definitionally* the same as serial planner calls, which
+the oracle tests pin. A shared :class:`PrecomputationCache` directory
+lets every worker (and every later invocation) skip the expensive
+eigendecomposition/seeding work after the first compute of a key.
+
+:func:`sweep_precomputation` is the in-process little sibling used by
+the benchmark suite: it sweeps config variants over one already-built
+precomputation via :func:`repro.core.precompute.rebind`, replacing the
+ad-hoc ``for w in weights: rebind(...)`` loops that used to live in
+``bench/experiments.py`` and ``bench/figures.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.config import PlannerConfig
+from repro.core.planner import CTBusPlanner, run_method
+from repro.core.precompute import Precomputation, rebind
+from repro.core.result import PlanResult
+from repro.data.datasets import canned_city
+from repro.sweep.cache import PrecomputationCache
+from repro.sweep.scenario import Scenario
+from repro.utils.errors import PlanningError
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer
+
+
+def derive_scenario_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-scenario seed from the sweep seed + scenario name.
+
+    Stable across processes and sessions (unlike ``hash()``); distinct
+    names get independent seeds.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario produced.
+
+    ``results`` holds one :class:`PlanResult` per planned route
+    (``route_count`` entries at most — fewer if planning saturates).
+    ``precomputation`` is populated only by in-process sweeps; worker
+    processes leave it ``None`` rather than pickling megabytes of
+    spectral state back to the parent.
+    """
+
+    scenario: Scenario
+    results: tuple[PlanResult, ...]
+    cache_hit: "bool | None" = None
+    precompute_s: float = 0.0
+    total_s: float = 0.0
+    precomputation: "Precomputation | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def result(self) -> "PlanResult | None":
+        """The first (or only) plan result."""
+        return self.results[0] if self.results else None
+
+
+@functools.lru_cache(maxsize=8)
+def _worker_dataset(city: str, profile: str):
+    """Per-process dataset cache: scenarios sharing a city build it once."""
+    return canned_city(city, profile)
+
+
+def execute_scenario(
+    scenario: Scenario,
+    base_config: "PlannerConfig | None" = None,
+    cache_dir: "str | None" = None,
+) -> ScenarioOutcome:
+    """Run one scenario end to end (the worker entry point).
+
+    Plans through :class:`CTBusPlanner` so results match serial facade
+    calls exactly; the only extra moving part is the artifact cache.
+    """
+    with Timer() as total:
+        dataset = _worker_dataset(scenario.city, scenario.profile)
+        config = scenario.planner_config(base_config)
+        cache = PrecomputationCache(cache_dir) if cache_dir else None
+        planner = CTBusPlanner(dataset, config, cache=cache)
+        with Timer() as pre_t:
+            planner.precomputation
+        if scenario.constraints is not None:
+            results = (
+                planner.plan_constrained(scenario.constraints, scenario.method),
+            )
+        elif scenario.route_count > 1:
+            results = tuple(
+                planner.plan_multiple(scenario.route_count, scenario.method)
+            )
+        else:
+            results = (planner.plan(scenario.method),)
+    return ScenarioOutcome(
+        scenario=scenario,
+        results=results,
+        cache_hit=planner.precompute_cache_hit,
+        precompute_s=pre_t.elapsed,
+        total_s=total.elapsed,
+    )
+
+
+class SweepRunner:
+    """Execute scenario grids, optionally in parallel, with a shared cache.
+
+    Parameters
+    ----------
+    base_config:
+        Config every scenario starts from (scenario overrides win).
+    cache_dir:
+        Directory for persistent precomputation artifacts; ``None``
+        disables caching.
+    workers:
+        Process count. ``None`` picks ``min(len(scenarios), cpu_count)``;
+        ``0``/``1`` runs serially in-process (no pool, same results).
+    base_seed:
+        Explicit sweep-wide seed applied to every scenario that does
+        not set its own (via ``seed`` or a ``seed`` override). ``None``
+        (default) leaves ``base_config.seed`` in charge. Either way all
+        scenarios share one seed so they share probe vectors —
+        differences between scenarios then come from their configs, not
+        estimator noise — and, because ``seed`` is precompute-relevant,
+        they share one warm cache entry.
+    vary_seeds:
+        Opt-in per-scenario seed *variation*: each unseeded scenario
+        gets :func:`derive_scenario_seed` of ``(root seed, name)``.
+        Still fully deterministic, but scenarios stop sharing cache
+        entries — use for replication studies, not parameter sweeps
+        (there, sweep ``seed`` as an explicit axis instead).
+    """
+
+    def __init__(
+        self,
+        base_config: "PlannerConfig | None" = None,
+        cache_dir: "str | None" = None,
+        workers: "int | None" = None,
+        base_seed: "int | None" = None,
+        vary_seeds: bool = False,
+    ):
+        self.base_config = base_config or PlannerConfig()
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.workers = workers
+        self.base_seed = None if base_seed is None else int(base_seed)
+        self.vary_seeds = bool(vary_seeds)
+        #: Workers used by the most recent :meth:`run` (1 = serial path).
+        self.last_worker_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def seed_root(self) -> int:
+        """The effective sweep seed (explicit, else the base config's)."""
+        return self.base_seed if self.base_seed is not None else self.base_config.seed
+
+    def resolve(self, scenarios) -> list[Scenario]:
+        """Validate and seed-resolve ``scenarios`` (deterministic)."""
+        resolved = []
+        for scenario in scenarios:
+            if self.vary_seeds:
+                scenario = scenario.with_seed(
+                    derive_scenario_seed(self.seed_root, scenario.name)
+                )
+            elif self.base_seed is not None:
+                scenario = scenario.with_seed(self.base_seed)
+            # else: scenarios inherit base_config.seed via planner_config.
+            scenario.validate(self.base_config)
+            resolved.append(scenario)
+        return resolved
+
+    def _worker_count(self, n_scenarios: int) -> int:
+        if self.workers is not None:
+            return max(int(self.workers), 1)
+        return max(min(n_scenarios, os.cpu_count() or 1), 1)
+
+    def _prewarm(self, resolved) -> set[int]:
+        """Compute each unique cold cache key once, in the parent.
+
+        Without this, a cold cache + N workers runs N identical
+        precomputations concurrently (thundering herd) — the cost must
+        be paid once per key, as the cache contract promises. Returns
+        the indices of the scenarios whose key this call computed, so
+        their outcomes can be reported as the misses they really were.
+        """
+        cache = PrecomputationCache(self.cache_dir)
+        computed: set[int] = set()
+        seen: set[str] = set()
+        for i, scenario in enumerate(resolved):
+            dataset = _worker_dataset(scenario.city, scenario.profile)
+            config = scenario.planner_config(self.base_config)
+            key = cache.key_for(dataset, config)
+            if key in seen:
+                continue
+            seen.add(key)
+            _, hit = cache.fetch_or_compute(dataset, config)
+            if not hit:
+                computed.add(i)
+        return computed
+
+    def run(self, scenarios) -> list[ScenarioOutcome]:
+        """Execute every scenario; outcomes keep the input order.
+
+        ``self.last_worker_count`` records how many workers actually ran
+        (1 whenever the serial in-process path was taken).
+        """
+        resolved = self.resolve(scenarios)
+        if not resolved:
+            self.last_worker_count = 0
+            return []
+        n_workers = self._worker_count(len(resolved))
+        if n_workers <= 1 or len(resolved) == 1:
+            self.last_worker_count = 1
+            return [
+                execute_scenario(s, self.base_config, self.cache_dir)
+                for s in resolved
+            ]
+        self.last_worker_count = n_workers
+        prewarmed = self._prewarm(resolved) if self.cache_dir else set()
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            outcomes = list(
+                pool.map(
+                    execute_scenario,
+                    resolved,
+                    [self.base_config] * len(resolved),
+                    [self.cache_dir] * len(resolved),
+                )
+            )
+        for i in prewarmed:
+            # The worker saw a warm entry only because the parent just
+            # computed it; report the scenario as the miss it was.
+            outcomes[i].cache_hit = False
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# In-process config sweeps over one shared precomputation (bench path)
+# ----------------------------------------------------------------------
+def sweep_precomputation(pre: Precomputation, scenarios) -> list[ScenarioOutcome]:
+    """Sweep config variants over one prepared precomputation.
+
+    Every scenario must target the same dataset (``city``/``profile``
+    are ignored) and use rebind-safe overrides — ``tau_km`` or
+    ``increment_mode`` changes raise, exactly like :func:`rebind`.
+    Scenario seeds are *not* re-derived: the probe vectors are part of
+    the shared precomputation. Constraints and multi-route counts are
+    not supported here (rejected, not ignored) — run those through
+    :class:`SweepRunner`.
+    """
+    outcomes = []
+    for scenario in scenarios:
+        scenario.validate(pre.config)
+        if scenario.constraints is not None or scenario.route_count > 1:
+            raise PlanningError(
+                f"scenario {scenario.name!r}: sweep_precomputation supports "
+                f"plain single-route scenarios only; use SweepRunner for "
+                f"constraints or route_count > 1"
+            )
+        with Timer() as total:
+            swept = rebind(pre, scenario.planner_config(pre.config))
+            results = (run_method(swept, scenario.method),)
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                results=results,
+                total_s=total.elapsed,
+                precomputation=swept,
+            )
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def outcomes_table(outcomes, title: str = "sweep results") -> str:
+    """Tidy per-route results table for a list of outcomes."""
+    rows = []
+    for out in outcomes:
+        for i, res in enumerate(out.results):
+            label = out.scenario.name
+            if len(out.results) > 1:
+                label = f"{label}#{i + 1}"
+            route = res.route
+            rows.append([
+                label,
+                res.method,
+                f"{route.n_edges} ({route.n_new_edges})" if route else "-",
+                round(res.objective, 4),
+                round(res.o_d, 1),
+                round(res.o_lambda, 5),
+                res.iterations,
+                round(res.runtime_s, 3),
+                round(out.precompute_s, 3),
+                {True: "hit", False: "miss", None: "-"}[out.cache_hit],
+            ])
+        if not out.results:
+            rows.append([
+                out.scenario.name, out.scenario.method, "-", "-", "-", "-",
+                "-", "-", round(out.precompute_s, 3),
+                {True: "hit", False: "miss", None: "-"}[out.cache_hit],
+            ])
+    return format_table(
+        ["scenario", "method", "#edges (#new)", "objective", "O_d",
+         "O_lambda", "iters", "plan (s)", "pre (s)", "cache"],
+        rows,
+        title=title,
+    )
+
+
+def cache_summary(outcomes, cache_dir: "str | None") -> str:
+    """One-line cache report: hits/misses this sweep + entries on disk."""
+    if not cache_dir:
+        return "precomputation cache: disabled"
+    hits = sum(1 for o in outcomes if o.cache_hit is True)
+    misses = sum(1 for o in outcomes if o.cache_hit is False)
+    entries = PrecomputationCache(cache_dir).n_entries
+    return (
+        f"precomputation cache [{cache_dir}]: {hits} hits, {misses} misses, "
+        f"{entries} entries on disk"
+    )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,125 @@ class TestCommands:
                      "--k", "4"]) == 0
         out = capsys.readouterr().out
         assert "Estrada" in out and "Lemma 4" in out
+
+
+class TestExitCodes:
+    """Unknown methods and misused constraints fail with clean exit codes."""
+
+    def test_plan_unknown_method_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["plan", "--method", "annealing"])
+        assert exc.value.code == 2  # argparse choices rejection
+
+    def test_sweep_unknown_method_exits_2(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {"city": "chicago", "profile": "tiny"},
+            "axes": {"method": ["eta-pre", "annealing"]},
+        }))
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 2
+        assert "annealing" in capsys.readouterr().err
+
+    def test_sweep_invalid_constraints_exits_2(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {"city": "chicago", "profile": "tiny"},
+            "scenarios": [
+                {"name": "bad", "constraints":
+                    {"anchor_stop": 3, "forbid_stops": [3]}},
+            ],
+        }))
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_constraints_on_baseline_method_exits_2(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {"city": "chicago", "profile": "tiny", "method": "vk-tsp"},
+            "scenarios": [{"name": "bad", "constraints": {"anchor_stop": 1}}],
+        }))
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "constrained planning supports" in err
+
+    def test_sweep_missing_grid_file_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "/nonexistent/grid.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_sweep_bad_axis_value_exits_2(self, capsys):
+        assert main(["sweep", "--ks", "5,abc", "--no-cache"]) == 2
+        assert "bad axis value list" in capsys.readouterr().err
+
+    def test_sweep_axis_values_are_stripped(self, capsys):
+        rc = main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre, vk-tsp", "--weights", " 0.5 ",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--no-cache", "--workers", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "method=vk-tsp" in out
+
+    def test_sweep_unknown_base_config_key_exits_2(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({"base": {"config": {"kk": 5}}}))
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 2
+        assert "bad base config" in capsys.readouterr().err
+
+    def test_sweep_malformed_yaml_exits_2(self, tmp_path, capsys):
+        pytest.importorskip("yaml")
+        grid = tmp_path / "grid.yaml"
+        grid.write_text("base: {city: chicago\naxes: [")
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 2
+        assert "not valid YAML" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_inline_sweep_with_cache_roundtrip(self, tmp_path, capsys):
+        args = [
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre,vk-tsp", "--weights", "0.4,0.6",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "method=eta-pre,w=0.4" in first
+        assert "precomputation cache" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "4 hits, 0 misses" in second
+
+    def test_grid_file_sweep(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {
+                "city": "chicago", "profile": "tiny",
+                "config": {"k": 6, "max_iterations": 120, "seed_count": 80},
+            },
+            "axes": {"w": [0.4, 0.6]},
+            "scenarios": [
+                {"name": "anchored", "constraints": {"anchor_stop": 0}},
+            ],
+        }))
+        assert main([
+            "sweep", "--grid", str(grid),
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "w=0.4" in out and "anchored" in out
+
+    def test_yaml_grid_when_available(self, tmp_path, capsys):
+        yaml = pytest.importorskip("yaml")
+        grid = tmp_path / "grid.yaml"
+        grid.write_text(yaml.safe_dump({
+            "base": {
+                "city": "chicago", "profile": "tiny",
+                "config": {"k": 6, "max_iterations": 120, "seed_count": 80},
+            },
+            "axes": {"method": ["eta-pre"], "w": [0.5]},
+        }))
+        assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 0
+        assert "method=eta-pre" in capsys.readouterr().out

@@ -77,7 +77,10 @@ class TestEtaPre:
         assert result.connectivity_evaluations <= 2
 
 
+@pytest.mark.slow
 class TestEtaOnline:
+    """Benchmark-driving online-ETA runs (~10s total): tier-2 only."""
+
     def test_finds_feasible_route(self, pre):
         result = run_eta(pre)
         check_route_invariants(pre, result)

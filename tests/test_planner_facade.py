@@ -75,3 +75,67 @@ class TestMultiRoute:
         assert all(
             not r.name.startswith("planned") for r in planner.dataset.transit.routes
         )
+
+    def test_advanced_regression_contract(self, planner):
+        """Pin the _advanced contract behind plan_multiple (regression).
+
+        After one advancement: every covered road edge's demand is zero,
+        every *uncovered* road edge keeps its demand bit-exactly, and
+        the transit network gained exactly one (planned) route.
+        """
+        first = planner.plan("eta-pre")
+        pre = planner.precomputation
+        advanced = planner._advanced(first.route, zero_covered_demand=True)
+
+        covered = {
+            road_edge
+            for idx in first.route.edge_indices
+            for road_edge in pre.universe.edge(idx).road_path
+        }
+        assert covered  # the route must cover real road geometry
+        before, after = planner.dataset.road, advanced.dataset.road
+        for eid in range(before.n_edges):
+            if eid in covered:
+                assert after.edge_demand(eid) == 0.0
+            else:
+                assert after.edge_demand(eid) == before.edge_demand(eid)
+
+        old_t, new_t = planner.dataset.transit, advanced.dataset.transit
+        assert new_t.n_routes == old_t.n_routes + 1
+        planned = [r for r in new_t.routes if r.name.startswith("planned-")]
+        assert len(planned) == 1
+        assert planned[0].stops == first.route.stops
+
+    def test_advanced_keeps_demand_without_zeroing(self, planner):
+        first = planner.plan("eta-pre")
+        advanced = planner._advanced(first.route, zero_covered_demand=False)
+        before, after = planner.dataset.road, advanced.dataset.road
+        for eid in range(before.n_edges):
+            assert after.edge_demand(eid) == before.edge_demand(eid)
+        assert advanced.dataset.transit.n_routes == (
+            planner.dataset.transit.n_routes + 1
+        )
+
+
+class TestConstrainedValidation:
+    def test_plan_constrained_rejects_none(self, planner):
+        with pytest.raises(PlanningError, match="PlanningConstraints"):
+            planner.plan_constrained(None)
+
+    def test_plan_constrained_rejects_mapping(self, planner):
+        with pytest.raises(PlanningError, match="PlanningConstraints"):
+            planner.plan_constrained({"anchor_stop": 0})
+
+    def test_plan_constrained_rejects_unknown_method(self, planner):
+        from repro.core.constraints import PlanningConstraints
+
+        with pytest.raises(PlanningError, match="constrained planning"):
+            planner.plan_constrained(
+                PlanningConstraints(anchor_stop=0), method="vk-tsp"
+            )
+
+    def test_plan_constrained_accepts_real_constraints(self, planner):
+        from repro.core.constraints import PlanningConstraints
+
+        result = planner.plan_constrained(PlanningConstraints(anchor_stop=0))
+        assert result.method == "eta-pre+constraints"

@@ -1,0 +1,255 @@
+"""Property tests for the precomputation cache key and artifact round-trip.
+
+The cache-key contract (see :mod:`repro.sweep`): equal content hashes
+equal; any demand/edge/weight perturbation changes the hash; search-side
+config knobs do not participate; and ``Precomputation.load(save(p))``
+restores every array bit-exactly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PlannerConfig
+from repro.core.precompute import (
+    PRECOMPUTE_CONFIG_FIELDS,
+    Precomputation,
+    precompute,
+)
+from repro.data.datasets import build_dataset
+from repro.data.synth import SynthConfig
+from repro.network.road import RoadNetwork
+from repro.sweep import (
+    PrecomputationCache,
+    cache_key,
+    config_fingerprint,
+    dataset_fingerprint,
+)
+from repro.utils.errors import DataError
+
+MICRO = SynthConfig(
+    name="cache-micro",
+    grid_width=6,
+    grid_height=5,
+    n_hotspots=3,
+    n_routes=3,
+    route_min_km=0.6,
+    n_trips=200,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return build_dataset(MICRO)
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return PlannerConfig(k=5, max_iterations=80, seed_count=60)
+
+
+@pytest.fixture(scope="module")
+def micro_pre(micro, micro_config):
+    return precompute(micro, micro_config)
+
+
+def _clone_with_road(dataset, road):
+    return dataclasses.replace(dataset, road=road)
+
+
+def _road_rebuilt(road, lengths=None):
+    """Rebuild a road network from arrays (optionally with new lengths)."""
+    edges = [road.edge_endpoints(e) for e in range(road.n_edges)]
+    rebuilt = RoadNetwork.from_arrays(
+        road.coords,
+        edges,
+        lengths=list(road.edge_lengths()) if lengths is None else lengths,
+        travel_times=list(road.edge_travel_times()),
+    )
+    for e in range(road.n_edges):
+        rebuilt.set_demand(e, road.edge_demand(e))
+    return rebuilt
+
+
+class TestKeyEquality:
+    def test_equal_content_hashes_equal(self, micro):
+        rebuilt = build_dataset(MICRO)
+        assert dataset_fingerprint(micro) == dataset_fingerprint(rebuilt)
+
+    def test_name_does_not_participate(self, micro):
+        renamed = dataclasses.replace(micro, name="other-name")
+        assert dataset_fingerprint(micro) == dataset_fingerprint(renamed)
+
+    def test_rebuilt_road_same_hash(self, micro):
+        clone = _clone_with_road(micro, _road_rebuilt(micro.road))
+        assert dataset_fingerprint(micro) == dataset_fingerprint(clone)
+
+    def test_equal_configs_hash_equal(self, micro_config):
+        twin = PlannerConfig(k=5, max_iterations=80, seed_count=60)
+        assert config_fingerprint(micro_config) == config_fingerprint(twin)
+
+    def test_key_combines_both(self, micro, micro_config):
+        assert cache_key(micro, micro_config) == cache_key(micro, micro_config)
+        assert len(cache_key(micro, micro_config)) == 32
+
+
+class TestKeySensitivity:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_demand_perturbation_changes_hash(self, micro, data):
+        road = micro.road.copy()
+        eid = data.draw(st.integers(0, road.n_edges - 1))
+        bump = data.draw(st.floats(0.5, 100.0, allow_nan=False))
+        road.set_demand(eid, road.edge_demand(eid) + bump)
+        assert dataset_fingerprint(micro) != dataset_fingerprint(
+            _clone_with_road(micro, road)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_edge_perturbation_changes_hash(self, micro, data):
+        road = micro.road.copy()
+        u = data.draw(st.integers(0, road.n_vertices - 1))
+        v = data.draw(
+            st.integers(0, road.n_vertices - 1).filter(
+                lambda x: x != u and road.edge_between(u, x) is None
+            )
+        )
+        road.add_edge(u, v)
+        assert dataset_fingerprint(micro) != dataset_fingerprint(
+            _clone_with_road(micro, road)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_weight_perturbation_changes_hash(self, micro, data):
+        road = micro.road
+        eid = data.draw(st.integers(0, road.n_edges - 1))
+        scale = data.draw(st.floats(1.01, 3.0, allow_nan=False))
+        lengths = list(road.edge_lengths())
+        lengths[eid] *= scale
+        clone = _clone_with_road(micro, _road_rebuilt(road, lengths=lengths))
+        assert dataset_fingerprint(micro) != dataset_fingerprint(clone)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"tau_km": 0.4}, {"increment_mode": "sketch"}, {"n_probes": 11},
+         {"lanczos_steps": 7}, {"seed": 123}],
+    )
+    def test_precompute_relevant_config_changes_key(
+        self, micro, micro_config, overrides
+    ):
+        assert set(overrides) <= set(PRECOMPUTE_CONFIG_FIELDS)
+        changed = micro_config.variant(**overrides)
+        assert cache_key(micro, micro_config) != cache_key(micro, changed)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"k": 9}, {"w": 0.1}, {"seed_count": 33}, {"max_iterations": 999},
+         {"expansion": "all"}, {"use_domination": False}],
+    )
+    def test_search_knobs_share_key(self, micro, micro_config, overrides):
+        # The amortization contract: rebind-able knobs hit the same entry.
+        changed = micro_config.variant(**overrides)
+        assert cache_key(micro, micro_config) == cache_key(micro, changed)
+
+
+class TestRoundTrip:
+    def test_bit_exact_arrays(self, micro, micro_config, micro_pre, tmp_path):
+        prefix = str(tmp_path / "artifact")
+        micro_pre.save(prefix)
+        loaded = Precomputation.load(prefix, micro, micro_config)
+
+        for attr in ("demand", "length", "delta"):
+            a = getattr(micro_pre.universe, attr)
+            b = getattr(loaded.universe, attr)
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+        assert np.array_equal(micro_pre.universe.is_new, loaded.universe.is_new)
+        assert np.array_equal(
+            micro_pre.top_eigenvalues, loaded.top_eigenvalues
+        )
+        assert loaded.lambda_base == micro_pre.lambda_base
+
+        for mine, theirs in zip(micro_pre.universe.edges, loaded.universe.edges):
+            assert mine == theirs  # u, v, length, demand, road_path, flags
+
+        # Cheap derived artifacts re-derive to identical values.
+        assert loaded.d_max == micro_pre.d_max
+        assert loaded.lambda_max == micro_pre.lambda_max
+        assert loaded.path_bound_increment == micro_pre.path_bound_increment
+        assert np.array_equal(loaded.L_e._values, micro_pre.L_e._values)
+
+    def test_load_rederives_for_other_search_config(
+        self, micro, micro_config, micro_pre, tmp_path
+    ):
+        prefix = str(tmp_path / "artifact")
+        micro_pre.save(prefix)
+        other = micro_config.variant(k=9, w=0.2)
+        loaded = Precomputation.load(prefix, micro, other)
+        assert loaded.config == other
+        assert np.array_equal(loaded.universe.delta, micro_pre.universe.delta)
+        assert loaded.d_max == loaded.L_d.top_sum(9)
+
+    def test_load_rejects_precompute_mismatch(
+        self, micro, micro_config, micro_pre, tmp_path
+    ):
+        prefix = str(tmp_path / "artifact")
+        micro_pre.save(prefix)
+        with pytest.raises(DataError):
+            Precomputation.load(prefix, micro, micro_config.variant(seed=99))
+
+    def test_load_missing_artifacts(self, micro, micro_config, tmp_path):
+        with pytest.raises(DataError):
+            Precomputation.load(str(tmp_path / "nope"), micro, micro_config)
+
+
+class TestCacheStore:
+    def test_fetch_or_compute_counts(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        pre1, hit1 = cache.fetch_or_compute(micro, micro_config)
+        pre2, hit2 = cache.fetch_or_compute(micro, micro_config)
+        assert (hit1, hit2) == (False, True)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.n_entries == 1
+        assert np.array_equal(pre1.universe.delta, pre2.universe.delta)
+
+    def test_widened_spectrum_is_persisted(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)  # saves k=5's spectrum
+        bigger = micro_config.variant(k=9)
+        pre_a, hit_a = cache.fetch_or_compute(micro, bigger)
+        assert hit_a is True and pre_a.spectrum_widened is False
+        # The widened artifact was stored back: a fresh load needs no
+        # eigen recompute.
+        key = cache.key_for(micro, bigger)
+        loaded = Precomputation.load(f"{tmp_path}/{key}", micro, bigger)
+        assert loaded.spectrum_widened is False
+        assert len(loaded.top_eigenvalues) >= len(pre_a.top_eigenvalues)
+
+    def test_load_rejects_different_graph_same_stops(
+        self, micro, micro_config, micro_pre, tmp_path
+    ):
+        import dataclasses as dc
+
+        prefix = str(tmp_path / "artifact")
+        micro_pre.save(prefix)
+        other = dc.replace(
+            micro, transit=micro.transit.without_routes({0})
+        )
+        with pytest.raises(DataError):
+            Precomputation.load(prefix, other, micro_config)
+
+    def test_corrupt_entry_is_a_miss(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)
+        key = cache.key_for(micro, micro_config)
+        with open(f"{tmp_path}/{key}.npz", "wb") as f:
+            f.write(b"not an npz")
+        pre, hit = cache.fetch_or_compute(micro, micro_config)
+        assert hit is False
+        assert pre is not None

@@ -1,0 +1,197 @@
+"""Oracle tests: sweep results must equal serial planner-facade calls.
+
+The acceptance contract for the sweep engine: a parallel 3x2 grid over
+methods x weights produces, scenario for scenario, exactly the route
+edges and scores of serially calling :class:`CTBusPlanner` — warm cache
+artifacts included.
+"""
+
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.constraints import PlanningConstraints
+from repro.core.planner import CTBusPlanner
+from repro.data.datasets import canned_city
+from repro.sweep import (
+    PrecomputationCache,
+    Scenario,
+    SweepRunner,
+    cache_summary,
+    expand_grid,
+    outcomes_table,
+    sweep_precomputation,
+)
+from repro.utils.errors import PlanningError
+
+BASE = PlannerConfig(k=8, max_iterations=150, seed_count=100)
+
+GRID = {
+    "w": [0.3, 0.5, 0.7],
+    "method": ["eta-pre", "vk-tsp"],
+}
+
+
+@pytest.fixture(scope="module")
+def grid_scenarios():
+    return expand_grid(GRID, city="chicago", profile="tiny")
+
+
+@pytest.fixture(scope="module")
+def parallel_outcomes(grid_scenarios, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("sweep-cache"))
+    runner = SweepRunner(base_config=BASE, cache_dir=cache_dir, workers=2)
+    return runner.run(grid_scenarios), runner, cache_dir
+
+
+class TestOracle:
+    def test_grid_size(self, grid_scenarios):
+        assert len(grid_scenarios) == 6  # 3 weights x 2 methods
+
+    def test_parallel_matches_serial_planner(
+        self, grid_scenarios, parallel_outcomes
+    ):
+        outcomes, runner, _ = parallel_outcomes
+        dataset = canned_city("chicago", "tiny")
+        for scenario, outcome in zip(runner.resolve(grid_scenarios), outcomes):
+            serial = CTBusPlanner(
+                dataset, scenario.planner_config(BASE)
+            ).plan(scenario.method)
+            swept = outcome.result
+            assert swept.route is not None
+            assert swept.route.edge_indices == serial.route.edge_indices
+            assert swept.route.stops == serial.route.stops
+            assert swept.route.new_pairs == serial.route.new_pairs
+            assert swept.objective == serial.objective
+            assert swept.search_score == serial.search_score
+            assert swept.o_d == serial.o_d
+            assert swept.o_lambda == serial.o_lambda
+            assert swept.iterations == serial.iterations
+
+    def test_serial_runner_matches_parallel(
+        self, grid_scenarios, parallel_outcomes, tmp_path
+    ):
+        outcomes, _, _ = parallel_outcomes
+        serial_runner = SweepRunner(base_config=BASE, workers=1)
+        serial = serial_runner.run(grid_scenarios)
+        for a, b in zip(outcomes, serial):
+            assert a.result.route.edge_indices == b.result.route.edge_indices
+            assert a.result.objective == b.result.objective
+
+
+class TestCacheAcrossRuns:
+    def test_cold_parallel_run_computes_each_key_once(
+        self, grid_scenarios, parallel_outcomes
+    ):
+        # The parent prewarms unique keys before spawning workers, so a
+        # cold parallel sweep reports exactly one miss per unique key
+        # (here: one) instead of a thundering herd of identical computes.
+        outcomes, _, _ = parallel_outcomes
+        misses = [o for o in outcomes if o.cache_hit is False]
+        assert len(misses) == 1
+        assert sum(1 for o in outcomes if o.cache_hit is True) == 5
+
+    def test_second_run_hits_cache(self, grid_scenarios, parallel_outcomes):
+        _, _, cache_dir = parallel_outcomes
+        runner = SweepRunner(base_config=BASE, cache_dir=cache_dir, workers=2)
+        outcomes = runner.run(grid_scenarios)
+        assert all(o.cache_hit is True for o in outcomes)
+        summary = cache_summary(outcomes, cache_dir)
+        assert "6 hits" in summary and "0 misses" in summary
+
+    def test_scenarios_share_one_entry(self, parallel_outcomes):
+        # k/w/method/seed_count do not affect the key: one dataset, one entry.
+        _, _, cache_dir = parallel_outcomes
+        assert PrecomputationCache(cache_dir).n_entries == 1
+
+    def test_warm_results_equal_cold(self, grid_scenarios, parallel_outcomes):
+        outcomes, _, cache_dir = parallel_outcomes
+        warm = SweepRunner(base_config=BASE, cache_dir=cache_dir, workers=1).run(
+            grid_scenarios
+        )
+        for cold, hot in zip(outcomes, warm):
+            assert cold.result.route.edge_indices == hot.result.route.edge_indices
+            assert cold.result.objective == hot.result.objective
+
+
+class TestSeeds:
+    def test_shared_seed_when_explicit(self, grid_scenarios):
+        runner = SweepRunner(base_config=BASE, base_seed=3)
+        assert {s.seed for s in runner.resolve(grid_scenarios)} == {3}
+
+    def test_base_config_seed_survives_by_default(self, grid_scenarios):
+        # Regression: a seed set in the base config must not be clobbered
+        # by the runner's default.
+        seeded = BASE.variant(seed=7)
+        runner = SweepRunner(base_config=seeded)
+        for s in runner.resolve(grid_scenarios):
+            assert s.planner_config(seeded).seed == 7
+
+    def test_vary_seeds_is_deterministic_and_distinct(self, grid_scenarios):
+        runner = SweepRunner(base_config=BASE, base_seed=3, vary_seeds=True)
+        seeds_a = [s.seed for s in runner.resolve(grid_scenarios)]
+        seeds_b = [s.seed for s in runner.resolve(grid_scenarios)]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)
+
+    def test_explicit_seed_wins(self):
+        runner = SweepRunner(base_config=BASE, base_seed=3, vary_seeds=True)
+        (resolved,) = runner.resolve([Scenario(name="pinned", seed=42)])
+        assert resolved.seed == 42
+
+
+class TestScenarioValidation:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PlanningError):
+            SweepRunner(base_config=BASE).run([Scenario(name="x", method="magic")])
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(PlanningError):
+            Scenario(name="x", overrides={"warp": 9}).validate(BASE)
+
+    def test_constraints_require_supported_method(self):
+        constraints = PlanningConstraints(anchor_stop=0)
+        with pytest.raises(PlanningError):
+            Scenario(name="x", method="vk-tsp", constraints=constraints).validate(BASE)
+
+    def test_non_constraints_object_rejected(self):
+        with pytest.raises(PlanningError):
+            Scenario(name="x", constraints={"anchor_stop": 0}).validate(BASE)
+
+
+class TestScenarioKinds:
+    def test_constrained_scenario_runs(self, tmp_path):
+        runner = SweepRunner(base_config=BASE, cache_dir=str(tmp_path), workers=1)
+        scenario = Scenario(
+            name="anchored", constraints=PlanningConstraints(anchor_stop=0)
+        )
+        (outcome,) = runner.run([scenario])
+        assert outcome.result.method == "eta-pre+constraints"
+        if outcome.result.route is not None:
+            assert 0 in outcome.result.route.stops
+
+    def test_multi_route_scenario(self, tmp_path):
+        runner = SweepRunner(base_config=BASE, cache_dir=str(tmp_path), workers=1)
+        (outcome,) = runner.run([Scenario(name="two", route_count=2)])
+        assert 1 <= len(outcome.results) <= 2
+        table = outcomes_table([outcome])
+        assert "two#1" in table
+
+    def test_in_process_sweep_rejects_constraints(self, grid_scenarios):
+        dataset = canned_city("chicago", "tiny")
+        pre = CTBusPlanner(dataset, BASE).precomputation
+        bad = Scenario(name="x", constraints=PlanningConstraints(anchor_stop=0))
+        with pytest.raises(PlanningError, match="SweepRunner"):
+            sweep_precomputation(pre, [bad])
+        with pytest.raises(PlanningError, match="SweepRunner"):
+            sweep_precomputation(pre, [Scenario(name="y", route_count=2)])
+
+    def test_in_process_sweep_matches_runner(self, grid_scenarios):
+        dataset = canned_city("chicago", "tiny")
+        planner = CTBusPlanner(dataset, BASE)
+        outcomes = sweep_precomputation(planner.precomputation, grid_scenarios)
+        for scenario, outcome in zip(grid_scenarios, outcomes):
+            serial = CTBusPlanner(
+                dataset, scenario.planner_config(BASE)
+            ).plan(scenario.method)
+            assert outcome.result.route.edge_indices == serial.route.edge_indices
+            assert outcome.result.objective == serial.objective
