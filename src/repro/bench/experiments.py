@@ -33,7 +33,7 @@ from repro.spectral.connectivity import (
 )
 from repro.spectral.eigs import top_k_eigenvalues
 from repro.spectral.norms import spectral_norm
-from repro.sweep import Scenario, sweep_precomputation
+from repro.sweep import Scenario, SweepReport, sweep_precomputation
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
 
@@ -368,6 +368,11 @@ def table6_weight_sweep(city: str = "chicago", weights=(0.0, 0.3, 0.7)) -> dict:
     outcomes = sweep_precomputation(
         pre, [Scenario(name=f"w={w}", overrides={"w": w}) for w in weights]
     )
+    # Machine-readable twin of the formatted table, for downstream tooling.
+    report(
+        f"table6_w_sweep_{city}_json",
+        SweepReport.from_outcomes(outcomes, backend="in-process").to_json(),
+    )
     rows = []
     results = {}
     for w, out in zip(weights, outcomes):
@@ -414,6 +419,10 @@ def table7_runtime_vs_k(cities=("chicago", "nyc"), ks=(10, 20, 30, 40, 50)) -> d
             ))
             scenarios.append(Scenario(name=f"k={k}:eta-pre", overrides={"k": k}))
         outcomes = sweep_precomputation(pre, scenarios)
+        report(
+            f"table7_runtime_vs_k_{city}_json",
+            SweepReport.from_outcomes(outcomes, backend="in-process").to_json(),
+        )
         for k, (eta_out, pre_out) in zip(ks, zip(outcomes[::2], outcomes[1::2])):
             eta_res, pre_res = eta_out.result, pre_out.result
             results[k][f"{city}-eta"] = eta_res.runtime_s

@@ -4,8 +4,11 @@ Commands
 --------
 ``stats``    print dataset statistics (Table 5 style).
 ``plan``     plan a route on a canned city and print route + metrics.
-``sweep``    run a scenario grid in parallel with a persistent
-             precomputation cache.
+``sweep``    run a scenario grid over an execution backend with a
+             persistent precomputation cache; results as a table or
+             JSON (``--json`` / ``--format json``).
+``cache``    inspect and bound the precomputation cache
+             (``stats`` / ``evict`` / ``clear``).
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
 
@@ -15,7 +18,10 @@ Examples::
     python -m repro plan --city bronx --method eta-pre --k 16 --w 0.3
     python -m repro sweep --city chicago --methods eta-pre,vk-tsp \\
         --weights 0.3,0.5,0.7
-    python -m repro sweep --grid grid.yaml --cache-dir .repro-cache
+    python -m repro sweep --grid grid.yaml --backend sharded --json out.json
+    python -m repro sweep --city chicago --profile tiny --json -
+    python -m repro cache stats --cache-dir .repro-cache
+    python -m repro cache evict --max-entries 8 --max-bytes 50000000
     python -m repro removal --city nyc --profile small
     python -m repro bounds --city chicago --k 15
 """
@@ -42,6 +48,10 @@ from repro.utils.tables import format_series, format_table
 CITY_CHOICES = CITY_NAMES
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+BACKEND_CHOICES = ("serial", "process", "sharded")
+"""Mirrors :data:`repro.sweep.backends.BACKEND_NAMES` (kept literal so
+parser construction does not import the sweep package)."""
 
 
 def _add_city_args(parser: argparse.ArgumentParser) -> None:
@@ -141,7 +151,14 @@ def _sweep_scenarios(args):
 
 
 def _cmd_sweep(args) -> int:
-    from repro.sweep import SweepRunner, cache_summary, outcomes_table
+    from repro.sweep import (
+        PrecomputationCache,
+        SweepReport,
+        SweepRunner,
+        cache_summary,
+        failures_summary,
+        outcomes_table,
+    )
 
     cache_dir = None if args.no_cache else args.cache_dir
     try:
@@ -151,30 +168,122 @@ def _cmd_sweep(args) -> int:
             cache_dir=cache_dir,
             workers=args.workers,
             base_seed=args.seed,
+            backend=args.backend,
         )
         outcomes = runner.run(scenarios)
     except (PlanningError, ValidationError, DataError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(outcomes_table(
-        outcomes,
-        title=(
-            f"sweep: {len(outcomes)} scenarios across "
-            f"{runner.last_worker_count} workers"
-        ),
-    ))
-    print()
-    print(cache_summary(outcomes, cache_dir))
+    # `--json -` and `--format json` both claim stdout for the JSON
+    # document, so the table is suppressed to keep it machine-parseable.
+    json_to_stdout = args.json == "-" or args.format == "json"
+    if args.json or json_to_stdout:
+        report = SweepReport.from_outcomes(
+            outcomes,
+            backend=args.backend,
+            workers=runner.last_worker_count,
+            cache_dir=cache_dir,
+        )
+    if args.json and args.json != "-":
+        try:
+            report.write(args.json)
+        except OSError as exc:
+            print(f"error: cannot write JSON report: {exc}", file=sys.stderr)
+            return 2
+    if json_to_stdout:
+        print(report.to_json())
+    else:
+        print(outcomes_table(
+            outcomes,
+            title=(
+                f"sweep: {len(outcomes)} scenarios across "
+                f"{runner.last_worker_count} workers "
+                f"({args.backend} backend)"
+            ),
+        ))
+        print()
+        print(cache_summary(outcomes, cache_dir))
+    failures = failures_summary(outcomes)
+    if failures:
+        print(failures, file=sys.stderr)
+    if cache_dir and args.cache_max_bytes is not None:
+        evicted = PrecomputationCache(cache_dir).evict(
+            max_bytes=args.cache_max_bytes
+        )
+        if evicted:
+            print(
+                f"cache: evicted {len(evicted)} entries to fit "
+                f"{args.cache_max_bytes} bytes",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    from repro.sweep import PrecomputationCache
+
+    if not os.path.isdir(args.cache_dir):
+        # Never mkdir from an inspection command: a typo'd --cache-dir
+        # must surface, not silently read as an empty cache.
+        print(f"error: no such cache directory: {args.cache_dir!r}",
+              file=sys.stderr)
+        return 2
+    cache = PrecomputationCache(args.cache_dir)
+    if args.cache_command == "stats":
+        entries = cache.entries()
+        rows = [
+            ["directory", cache.directory],
+            ["entries", len(entries)],
+            ["total bytes", sum(e.n_bytes for e in entries)],
+        ]
+        if entries:
+            rows.append(["oldest key", entries[0].key])
+            rows.append(["newest key", entries[-1].key])
+        print(format_table(["stat", "value"], rows,
+                           title="precomputation cache"))
+        return 0
+    if args.cache_command == "evict":
+        if args.max_entries is None and args.max_bytes is None:
+            print("error: evict needs --max-entries and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        evicted = cache.evict(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        print(
+            f"evicted {len(evicted)} entries; {cache.n_entries} remain "
+            f"({cache.total_bytes} bytes)"
+        )
+        return 0
+    # clear
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.directory}")
     return 0
 
 
 def _cmd_removal(args) -> int:
     ds = canned_city(args.city, args.profile)
     transit = ds.transit
+    n_routes = transit.n_routes
+    if n_routes <= 1:
+        print(
+            f"error: route-removal analysis needs at least 2 routes; "
+            f"{ds.name} has {n_routes}",
+            file=sys.stderr,
+        )
+        return 2
     estimator = NaturalConnectivityEstimator(transit.n_stops)
-    step = max(transit.n_routes // args.points, 1)
+    step = max(n_routes // args.points, 1)
+    # Sample up to n_routes - 1 removals, always including the final
+    # point (all routes but one gone) so the curve reaches the
+    # high-removal end of Figure 1.
+    counts = list(range(0, n_routes - 1, step))
+    if counts[-1] != n_routes - 1:
+        counts.append(n_routes - 1)
     xs, ys = [], []
-    for removed in range(0, transit.n_routes - 1, step):
+    for removed in counts:
         reduced = transit.without_routes(set(range(removed)))
         xs.append(removed)
         ys.append(estimator.estimate(reduced.adjacency()))
@@ -256,13 +365,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="routes per scenario (multi-route planning)")
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="process count (default: min(#scenarios, cpus))")
+    p_sweep.add_argument("--backend", choices=BACKEND_CHOICES,
+                         default="process",
+                         help="execution backend: serial (in-process), "
+                              "process (one task per scenario), or sharded "
+                              "(per-worker shards with failure isolation)")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="sweep-wide seed (default: the base config's)")
+    p_sweep.add_argument("--json", default="", metavar="PATH",
+                         help="also write a structured JSON report to PATH "
+                              "('-' prints it to stdout instead of the table)")
+    p_sweep.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="stdout format (json suppresses the table)")
     p_sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                          help="persistent precomputation cache directory")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="disable the precomputation cache")
+    p_sweep.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="after the sweep, LRU-evict cache entries "
+                              "down to this many bytes")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or bound the precomputation cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and on-disk size"
+    )
+    p_cache_evict = cache_sub.add_parser(
+        "evict", help="LRU-evict entries down to the given budgets"
+    )
+    p_cache_evict.add_argument("--max-entries", type=int, default=None,
+                               help="keep at most this many entries")
+    p_cache_evict.add_argument("--max-bytes", type=int, default=None,
+                               help="keep at most this many bytes")
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="delete every committed entry"
+    )
+    for pc in (p_cache_stats, p_cache_evict, p_cache_clear):
+        pc.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="precomputation cache directory")
+        pc.set_defaults(func=_cmd_cache)
 
     p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
     _add_city_args(p_removal)

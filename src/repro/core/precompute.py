@@ -38,8 +38,10 @@ from repro.spectral.sketch import ExpmSketch
 from repro.utils.errors import DataError
 from repro.utils.timing import Timer
 
-ARTIFACT_FORMAT = 1
-"""On-disk artifact format version (bump on incompatible layout changes)."""
+ARTIFACT_FORMAT = 2
+"""On-disk artifact version (bump on incompatible layout *or semantics*
+changes; v2: sketch-mode deltas honor ``config.n_probes``, so v1 sketch
+artifacts no longer match what ``precompute()`` would produce)."""
 
 PRECOMPUTE_CONFIG_FIELDS = (
     "tau_km", "increment_mode", "n_probes", "lanczos_steps", "seed",
@@ -352,6 +354,7 @@ def precompute(dataset: Dataset, config: PlannerConfig) -> Precomputation:
             estimator,
             lambda_base,
             mode=config.increment_mode,
+            sketch_probes=config.n_probes,
             seed=config.seed,
         )
         universe.set_deltas(deltas)

@@ -8,6 +8,42 @@ package turns that into a batch workload: declare a grid of
 amortize the expensive spectral work across workers *and* across CLI
 invocations.
 
+Execution backends
+------------------
+Execution strategy is pluggable (``SweepRunner(backend=...)``, CLI
+``--backend``). A backend is any object with ``name``,
+``effective_workers(n_scenarios)``, and
+``run(scenarios, base_config, cache_dir)`` returning one
+:class:`ScenarioOutcome` per scenario in input order; every backend
+plans through :func:`execute_scenario`, so results are bit-identical
+across backends (the oracle contract). Three ship today:
+
+* ``serial`` — in-process loop; fail-fast; the reference semantics.
+* ``process`` — one task per scenario on a ``ProcessPoolExecutor``;
+  fail-fast (the PR 1 path, still the default).
+* ``sharded`` — the grid is chunked into per-worker shards (one task
+  per shard amortizes dataset construction and pickling), submitted
+  asynchronously, with per-scenario failure isolation: a raising
+  scenario becomes a failure outcome (``outcome.error`` set) instead of
+  killing the sweep.
+
+Structured results
+------------------
+:class:`SweepReport` serializes outcomes to JSON (schema versioned):
+per-scenario config/cache/timing/result records plus sweep metadata.
+``repro sweep --json out.json`` (or ``--json -`` / ``--format json``
+for stdout) emits it from the CLI.
+
+Eviction policy
+---------------
+Cache entries are no longer immortal: ``PrecomputationCache.evict(
+max_entries=..., max_bytes=...)`` deletes least-recently-used pairs
+(LRU by commit-marker mtime; hits touch the marker) until both budgets
+hold, and ``clear()`` empties the store. Only committed
+``<32-hex-key>.json`` + ``.npz`` pairs participate — foreign files in a
+shared directory are neither counted nor deleted. CLI:
+``repro cache stats|evict|clear`` and ``repro sweep --cache-max-bytes``.
+
 Cache-key contract
 ------------------
 Artifacts are keyed by ``sha256(dataset content || precompute-relevant
@@ -49,6 +85,7 @@ Entry points
 """
 
 from repro.sweep.cache import (
+    CacheEntry,
     PrecomputationCache,
     cache_key,
     config_fingerprint,
@@ -60,15 +97,34 @@ from repro.sweep.runner import (
     cache_summary,
     derive_scenario_seed,
     execute_scenario,
+    failures_summary,
     outcomes_table,
     sweep_precomputation,
 )
+from repro.sweep.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardedBackend,
+    execute_shard,
+    make_shards,
+    resolve_backend,
+)
+from repro.sweep.report import SweepReport, scenario_record
 from repro.sweep.scenario import Scenario, expand_grid, load_grid
 
 __all__ = [
+    "BACKEND_NAMES",
+    "CacheEntry",
+    "ExecutionBackend",
     "PrecomputationCache",
+    "ProcessBackend",
     "Scenario",
     "ScenarioOutcome",
+    "SerialBackend",
+    "ShardedBackend",
+    "SweepReport",
     "SweepRunner",
     "cache_key",
     "cache_summary",
@@ -76,8 +132,13 @@ __all__ = [
     "dataset_fingerprint",
     "derive_scenario_seed",
     "execute_scenario",
+    "execute_shard",
     "expand_grid",
+    "failures_summary",
     "load_grid",
+    "make_shards",
     "outcomes_table",
+    "resolve_backend",
+    "scenario_record",
     "sweep_precomputation",
 ]

@@ -1,0 +1,264 @@
+"""Pluggable sweep execution backends.
+
+:class:`SweepRunner` delegates scenario execution to a *backend*, so the
+strategy for distributing work is orthogonal to grid declaration, seed
+resolution, and cache prewarming (which stay in the runner). Three
+backends ship here; remote/distributed backends plug into the same
+contract later.
+
+Backend contract
+----------------
+A backend is any object with:
+
+``name``
+    Short identifier used in reports and the CLI (``--backend <name>``).
+``effective_workers(n_scenarios)``
+    The worker-process count the backend would use for a grid of that
+    size (``1`` means fully in-process).
+``run(scenarios, base_config, cache_dir)``
+    Execute already-*resolved* scenarios and return one
+    :class:`~repro.sweep.runner.ScenarioOutcome` per scenario **in input
+    order**. Workers must plan through
+    :func:`~repro.sweep.runner.execute_scenario` so results stay
+    bit-identical to serial planner-facade calls (the oracle contract).
+
+Failure semantics
+-----------------
+:class:`SerialBackend` and :class:`ProcessBackend` are fail-fast: a
+scenario that raises mid-sweep propagates and aborts the run (the PR 1
+behavior). :class:`ShardedBackend` isolates failures per scenario: a
+raising scenario yields a failure outcome (``outcome.error`` set, empty
+``results``) and the rest of its shard — and every other shard — still
+completes. Grid-level validation errors are raised by
+:meth:`SweepRunner.resolve` before any backend runs, so backend-level
+failures are genuine runtime errors (infeasible constraints, corrupt
+datasets, worker crashes).
+
+Sharding
+--------
+:class:`ShardedBackend` chunks the grid into per-worker shards and
+submits **one task per shard** instead of one per scenario: dataset
+construction and argument pickling are amortized per shard (scenarios
+are grouped by ``(city, profile)`` first so a shard shares its worker's
+dataset cache), and the asynchronous ``submit``/``as_completed`` path
+lets fast shards return while slow ones still run. Outcomes are
+re-assembled into input order by scenario index.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.core.config import PlannerConfig
+from repro.sweep.runner import ScenarioOutcome, execute_scenario
+from repro.utils.errors import PlanningError
+
+
+def _auto_workers(n_scenarios: int, workers: "int | None") -> int:
+    """Explicit worker count, else ``min(n_scenarios, cpu_count)``."""
+    if workers is not None:
+        return max(int(workers), 1)
+    return max(min(n_scenarios, os.cpu_count() or 1), 1)
+
+
+def failure_outcome(scenario, exc: BaseException) -> ScenarioOutcome:
+    """A :class:`ScenarioOutcome` recording a scenario-level failure."""
+    return ScenarioOutcome(
+        scenario=scenario,
+        results=(),
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def execute_shard(
+    indexed_scenarios,
+    base_config: "PlannerConfig | None" = None,
+    cache_dir: "str | None" = None,
+):
+    """Run one shard of ``(index, scenario)`` pairs (worker entry point).
+
+    Each scenario is isolated: an exception becomes a failure outcome
+    instead of killing the shard. Returns ``(index, outcome)`` pairs in
+    shard order; the backend re-assembles global order from the indices.
+    """
+    pairs = []
+    for index, scenario in indexed_scenarios:
+        try:
+            outcome = execute_scenario(scenario, base_config, cache_dir)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            outcome = failure_outcome(scenario, exc)
+        pairs.append((index, outcome))
+    return pairs
+
+
+def make_shards(scenarios, n_shards: int, shard_size: "int | None" = None):
+    """Chunk ``scenarios`` into shards of ``(index, scenario)`` pairs.
+
+    Scenarios are grouped by ``(city, profile)`` (stably, by original
+    index within a group) so shards share their worker's per-process
+    dataset cache, then cut into contiguous chunks. ``shard_size``
+    overrides the default ``ceil(n / n_shards)``.
+    """
+    indexed = sorted(
+        enumerate(scenarios), key=lambda p: (p[1].city, p[1].profile, p[0])
+    )
+    n = len(indexed)
+    if n == 0:
+        return []
+    if shard_size is None:
+        shard_size = -(-n // max(int(n_shards), 1))  # ceil division
+    shard_size = max(int(shard_size), 1)
+    return [indexed[i:i + shard_size] for i in range(0, n, shard_size)]
+
+
+class ExecutionBackend:
+    """Abstract base for sweep execution strategies (see module docs)."""
+
+    name = "abstract"
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        raise NotImplementedError
+
+    def run(
+        self,
+        scenarios,
+        base_config: "PlannerConfig | None" = None,
+        cache_dir: "str | None" = None,
+    ) -> list[ScenarioOutcome]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(repr=False)
+class SerialBackend(ExecutionBackend):
+    """In-process, one scenario at a time; fail-fast.
+
+    The reference semantics every other backend must match — and the
+    cheapest choice for single-scenario grids or debugging (no pool, no
+    pickling, real tracebacks).
+    """
+
+    name = "serial"
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        return 1
+
+    def run(self, scenarios, base_config=None, cache_dir=None):
+        return [
+            execute_scenario(s, base_config, cache_dir) for s in scenarios
+        ]
+
+
+@dataclass(repr=False)
+class ProcessBackend(ExecutionBackend):
+    """One task per scenario over a ``ProcessPoolExecutor``; fail-fast.
+
+    The PR 1 execution path. Falls back to the serial loop when one
+    worker (or one scenario) makes a pool pointless.
+    """
+
+    name = "process"
+    workers: "int | None" = None
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        if n_scenarios <= 1:
+            return 1
+        return _auto_workers(n_scenarios, self.workers)
+
+    def run(self, scenarios, base_config=None, cache_dir=None):
+        n_workers = self.effective_workers(len(scenarios))
+        if n_workers <= 1:
+            return SerialBackend().run(scenarios, base_config, cache_dir)
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(
+                pool.map(
+                    execute_scenario,
+                    scenarios,
+                    [base_config] * len(scenarios),
+                    [cache_dir] * len(scenarios),
+                )
+            )
+
+
+@dataclass(repr=False)
+class ShardedBackend(ExecutionBackend):
+    """Per-worker shards with async submission and failure isolation.
+
+    Large grids are cut into :func:`make_shards` chunks — one task per
+    shard — so dataset construction and pickling are paid per shard, not
+    per scenario. Shards are submitted asynchronously and gathered with
+    ``as_completed``; a scenario that raises becomes a failure outcome
+    (``error`` set) without killing its shard or the sweep.
+
+    ``shard_size`` fixes the scenarios-per-shard (default:
+    ``ceil(n / workers)``, i.e. exactly one shard per worker).
+    """
+
+    name = "sharded"
+    workers: "int | None" = None
+    shard_size: "int | None" = None
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        if n_scenarios <= 1:
+            return 1
+        return _auto_workers(n_scenarios, self.workers)
+
+    def run(self, scenarios, base_config=None, cache_dir=None):
+        n = len(scenarios)
+        n_workers = self.effective_workers(n)
+        shards = make_shards(scenarios, n_workers, self.shard_size)
+        if n_workers <= 1 or len(shards) <= 1:
+            pairs = [
+                pair
+                for shard in shards
+                for pair in execute_shard(shard, base_config, cache_dir)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(execute_shard, shard, base_config, cache_dir)
+                    for shard in shards
+                ]
+                pairs = [
+                    pair for fut in as_completed(futures) for pair in fut.result()
+                ]
+        outcomes: list["ScenarioOutcome | None"] = [None] * n
+        for index, outcome in pairs:
+            outcomes[index] = outcome
+        return outcomes
+
+
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ProcessBackend.name: ProcessBackend,
+    ShardedBackend.name: ShardedBackend,
+}
+
+BACKEND_NAMES = tuple(BACKENDS)
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend", workers: "int | None" = None
+) -> ExecutionBackend:
+    """Turn a backend name (or instance) into a ready backend.
+
+    ``workers`` is forwarded to name-constructed backends that take it;
+    an already-built instance is returned as-is (its own configuration
+    wins).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = BACKENDS[str(backend)]
+    except KeyError:
+        raise PlanningError(
+            f"unknown execution backend {backend!r}; "
+            f"choose from {BACKEND_NAMES}"
+        ) from None
+    if cls is SerialBackend:
+        return cls()
+    return cls(workers=workers)

@@ -17,9 +17,17 @@ The cache key is ``sha256(dataset fingerprint || config fingerprint)``:
 
 Artifacts live flat in the cache directory as ``<key>.npz`` +
 ``<key>.json`` (see :meth:`repro.core.precompute.Precomputation.save`).
-Writes go through temp files renamed into place, npz first and json
-last, so the json file doubles as a commit marker and concurrent
-workers racing on the same key are safe.
+Writes stage both files in a per-call private temp directory, then
+rename into place npz first and json last, so the json file doubles as
+a commit marker and concurrent workers racing on the same key are safe.
+
+Entries are no longer immortal: :meth:`PrecomputationCache.evict`
+applies an LRU-by-mtime policy (``max_entries`` and/or ``max_bytes``
+budgets; cache hits touch the commit marker so recently used entries
+survive), and :meth:`PrecomputationCache.clear` empties the store.
+Only committed pairs — a ``<32-hex-key>.json`` with its matching
+``.npz`` — count as entries; foreign files in a shared directory are
+ignored and never deleted.
 """
 
 from __future__ import annotations
@@ -27,7 +35,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 import tempfile
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -41,6 +52,20 @@ from repro.data.datasets import Dataset
 
 KEY_LENGTH = 32
 """Hex characters kept from the sha256 digest (128 bits)."""
+
+_KEY_RE = re.compile(rf"^[0-9a-f]{{{KEY_LENGTH}}}$")
+"""What a committed artifact stem looks like (filters foreign files)."""
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One committed artifact pair on disk."""
+
+    key: str
+    n_bytes: int
+    """Combined size of the npz + json pair."""
+    mtime: float
+    """Last-use time (commit markers are touched on cache hits)."""
 
 
 def _update_with_array(h, label: str, values) -> None:
@@ -122,13 +147,16 @@ class PrecomputationCache:
     """Filesystem-backed precomputation store with hit/miss accounting.
 
     Safe to share one directory across processes and successive CLI
-    invocations: entries are immutable once committed, writes are
+    invocations: entry contents are immutable once committed, writes are
     atomic renames, and a corrupt/partial entry is treated as a miss.
+    Storage is bounded on demand via :meth:`evict` (LRU by last use —
+    hits touch the commit marker) and :meth:`clear`.
     """
 
     def __init__(self, directory: str):
+        # The directory is created lazily on first store(), so read-only
+        # access (stats, entries, eviction) never mkdirs a typo'd path.
         self.directory = str(directory)
-        os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
 
@@ -143,14 +171,45 @@ class PrecomputationCache:
         prefix = self._prefix(key)
         return os.path.exists(f"{prefix}.json") and os.path.exists(f"{prefix}.npz")
 
-    @property
-    def n_entries(self) -> int:
-        """Committed entries on disk (json commit markers)."""
+    def entries(self) -> list[CacheEntry]:
+        """Committed artifact pairs, oldest-used first (the LRU order).
+
+        Only ``<32-hex-key>.json`` files with a matching ``.npz`` count:
+        tmp staging files, foreign json files in a shared directory, and
+        torn pairs are all excluded.
+        """
         try:
             names = os.listdir(self.directory)
         except OSError:
-            return 0
-        return sum(1 for n in names if n.endswith(".json") and ".tmp" not in n)
+            return []
+        found = []
+        for name in names:
+            stem, ext = os.path.splitext(name)
+            if ext != ".json" or not _KEY_RE.fullmatch(stem):
+                continue
+            try:
+                marker = os.stat(os.path.join(self.directory, name))
+                npz = os.stat(os.path.join(self.directory, f"{stem}.npz"))
+            except OSError:
+                continue  # uncommitted, torn, or concurrently evicted
+            found.append(
+                CacheEntry(
+                    key=stem,
+                    n_bytes=marker.st_size + npz.st_size,
+                    mtime=marker.st_mtime,
+                )
+            )
+        return sorted(found, key=lambda e: (e.mtime, e.key))
+
+    @property
+    def n_entries(self) -> int:
+        """Committed entries on disk (json commit markers with their npz)."""
+        return len(self.entries())
+
+    @property
+    def total_bytes(self) -> int:
+        """Combined on-disk size of all committed entries."""
+        return sum(e.n_bytes for e in self.entries())
 
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset, config: PlannerConfig) -> "Precomputation | None":
@@ -159,7 +218,11 @@ class PrecomputationCache:
         Does not touch the hit/miss counters; use :meth:`fetch_or_compute`
         for accounted access.
         """
-        key = self.key_for(dataset, config)
+        return self._load_entry(self.key_for(dataset, config), dataset, config)
+
+    def _load_entry(
+        self, key: str, dataset: Dataset, config: PlannerConfig
+    ) -> "Precomputation | None":
         if not self.contains(key):
             return None
         try:
@@ -170,27 +233,28 @@ class PrecomputationCache:
     def store(self, pre: Precomputation, dataset: Dataset) -> str:
         """Persist ``pre`` under its content key; returns the key."""
         key = self.key_for(dataset, pre.config)
-        fd, tmp_prefix = tempfile.mkstemp(prefix=f"{key}.tmp", dir=self.directory)
-        os.close(fd)
-        os.unlink(tmp_prefix)
+        os.makedirs(self.directory, exist_ok=True)
+        # A per-call private staging directory: mkdtemp never reuses a
+        # live name, so concurrent processes storing the same key cannot
+        # collide on their temp files (the old mkstemp→unlink→reuse
+        # pattern could). The leading dot also keeps it out of entries().
+        tmp_dir = tempfile.mkdtemp(prefix=f".tmp-{key}-", dir=self.directory)
+        tmp_prefix = os.path.join(tmp_dir, "artifact")
         try:
             pre.save(tmp_prefix)
             # npz first, json (the commit marker) last.
             os.replace(f"{tmp_prefix}.npz", f"{self._prefix(key)}.npz")
             os.replace(f"{tmp_prefix}.json", f"{self._prefix(key)}.json")
         finally:
-            for suffix in (".npz", ".json"):
-                try:
-                    os.unlink(f"{tmp_prefix}{suffix}")
-                except OSError:
-                    pass
+            shutil.rmtree(tmp_dir, ignore_errors=True)
         return key
 
     def fetch_or_compute(
         self, dataset: Dataset, config: PlannerConfig
     ) -> tuple[Precomputation, bool]:
         """``(precomputation, was_hit)`` — loading, or computing + storing."""
-        pre = self.load(dataset, config)
+        key = self.key_for(dataset, config)
+        pre = self._load_entry(key, dataset, config)
         if pre is not None:
             self.hits += 1
             if pre.spectrum_widened:
@@ -198,11 +262,70 @@ class PrecomputationCache:
                 # the widened artifact so later loads skip it.
                 self.store(pre, dataset)
                 pre.spectrum_widened = False
+            else:
+                self._touch(key)
             return pre, True
         self.misses += 1
         pre = precompute(dataset, config)
         self.store(pre, dataset)
         return pre, False
+
+    # ------------------------------------------------------------------
+    # Eviction (LRU by commit-marker mtime)
+    # ------------------------------------------------------------------
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` as recently used (best-effort)."""
+        try:
+            os.utime(f"{self._prefix(key)}.json")
+        except OSError:
+            pass
+
+    def _remove_entry(self, key: str) -> None:
+        """Delete one pair — json (the commit marker) first, then npz, so
+        a concurrent reader never sees a marker without its arrays."""
+        for suffix in (".json", ".npz"):
+            try:
+                os.unlink(f"{self._prefix(key)}{suffix}")
+            except OSError:
+                pass
+
+    def evict(
+        self,
+        max_entries: "int | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> list[str]:
+        """Delete least-recently-used entries until both budgets hold.
+
+        ``max_entries`` caps the entry count, ``max_bytes`` the combined
+        artifact size; either may be ``None`` (unbounded). With both
+        ``None`` this is a no-op. Returns the evicted keys, oldest first.
+        """
+        if max_entries is None and max_bytes is None:
+            return []
+        keep = self.entries()  # oldest first
+        evicted: list[CacheEntry] = []
+
+        def over_budget() -> bool:
+            if max_entries is not None and len(keep) > max(int(max_entries), 0):
+                return True
+            if max_bytes is not None and sum(e.n_bytes for e in keep) > max(
+                int(max_bytes), 0
+            ):
+                return True
+            return False
+
+        while keep and over_budget():
+            evicted.append(keep.pop(0))
+        for entry in evicted:
+            self._remove_entry(entry.key)
+        return [e.key for e in evicted]
+
+    def clear(self) -> int:
+        """Delete every committed entry; returns how many were removed."""
+        keys = [e.key for e in self.entries()]
+        for key in keys:
+            self._remove_entry(key)
+        return len(keys)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,134 @@
+"""Structured sweep results: machine-readable JSON for downstream tooling.
+
+:class:`SweepReport` turns a list of
+:class:`~repro.sweep.runner.ScenarioOutcome` into a stable, fully
+JSON-serializable document — one record per scenario (config, cache
+accounting, timings, per-route plan results, or the failure), plus
+sweep-level metadata (backend, worker count, cache totals). The CLI's
+``repro sweep --json out.json`` / ``--format json`` and the benchmark
+suite's JSON exports both render through here, so the schema only has
+to be kept stable in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+SCHEMA_VERSION = 1
+"""Bump on backwards-incompatible changes to the report layout."""
+
+
+def _result_record(result) -> dict:
+    """One plan result as a flat JSON-safe dict."""
+    record = dict(result.summary())
+    route = result.route
+    record["found"] = route is not None
+    if route is not None:
+        record["stops"] = [int(s) for s in route.stops]
+        record["length_km"] = round(float(route.length_km), 6)
+        record["turns"] = int(route.turns)
+    return record
+
+
+def _constraints_record(constraints) -> "dict | None":
+    if constraints is None:
+        return None
+    return {
+        "anchor_stop": constraints.anchor_stop,
+        "forbid_stops": sorted(constraints.forbid_stops),
+        "forbid_edges": sorted(constraints.forbid_edges),
+    }
+
+
+def scenario_record(outcome) -> dict:
+    """One :class:`ScenarioOutcome` as a JSON-safe dict.
+
+    Failed scenarios carry ``ok: false`` and their ``error`` string with
+    an empty ``results`` list — downstream tooling always sees every
+    scenario it asked for, succeeded or not.
+    """
+    scenario = outcome.scenario
+    return {
+        "name": scenario.name,
+        "city": scenario.city,
+        "profile": scenario.profile,
+        "method": scenario.method,
+        "route_count": scenario.route_count,
+        "seed": scenario.seed,
+        "overrides": dict(scenario.overrides),
+        "constraints": _constraints_record(scenario.constraints),
+        "ok": outcome.ok,
+        "error": outcome.error,
+        "cache_hit": outcome.cache_hit,
+        "precompute_s": round(float(outcome.precompute_s), 6),
+        "total_s": round(float(outcome.total_s), 6),
+        "results": [_result_record(r) for r in outcome.results],
+    }
+
+
+@dataclass
+class SweepReport:
+    """A serialized sweep: per-scenario records + sweep-level metadata."""
+
+    scenarios: list = field(default_factory=list)
+    backend: "str | None" = None
+    workers: "int | None" = None
+    cache: "dict | None" = None
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+        cache_dir: "str | None" = None,
+    ) -> "SweepReport":
+        """Build a report from runner outcomes.
+
+        ``cache_dir`` (when caching was on) adds hit/miss counts from the
+        outcomes plus the directory's current entry count and byte size.
+        """
+        cache = None
+        if cache_dir:
+            from repro.sweep.cache import PrecomputationCache
+
+            store = PrecomputationCache(cache_dir)
+            cache = {
+                "dir": str(cache_dir),
+                "hits": sum(1 for o in outcomes if o.cache_hit is True),
+                "misses": sum(1 for o in outcomes if o.cache_hit is False),
+                "entries": store.n_entries,
+                "total_bytes": store.total_bytes,
+            }
+        return cls(
+            scenarios=[scenario_record(o) for o in outcomes],
+            backend=backend,
+            workers=workers,
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for s in self.scenarios if not s["ok"])
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "n_scenarios": len(self.scenarios),
+            "n_ok": len(self.scenarios) - self.n_failed,
+            "n_failed": self.n_failed,
+            "backend": self.backend,
+            "workers": self.workers,
+            "cache": self.cache,
+            "scenarios": self.scenarios,
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        """Write the JSON document to ``path`` (trailing newline included)."""
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")

@@ -1,13 +1,16 @@
-"""Sweep execution: parallel scenario grids and in-process config sweeps.
+"""Sweep execution: scenario grids over pluggable backends.
 
-:class:`SweepRunner` fans a scenario grid out over a
-``ProcessPoolExecutor``. Each worker rebuilds its (deterministic)
-dataset, resolves the scenario's planner config, and plans through the
-regular :class:`~repro.core.planner.CTBusPlanner` facade — so sweep
-results are *definitionally* the same as serial planner calls, which
-the oracle tests pin. A shared :class:`PrecomputationCache` directory
-lets every worker (and every later invocation) skip the expensive
-eigendecomposition/seeding work after the first compute of a key.
+:class:`SweepRunner` resolves a scenario grid (validation + seed
+policy), prewarms the shared cache, and hands execution to an
+:mod:`execution backend <repro.sweep.backends>` — serial, process-pool,
+or sharded. Each worker rebuilds its (deterministic) dataset, resolves
+the scenario's planner config, and plans through the regular
+:class:`~repro.core.planner.CTBusPlanner` facade — so sweep results are
+*definitionally* the same as serial planner calls, which the oracle
+tests pin across every backend. A shared :class:`PrecomputationCache`
+directory lets every worker (and every later invocation) skip the
+expensive eigendecomposition/seeding work after the first compute of a
+key.
 
 :func:`sweep_precomputation` is the in-process little sibling used by
 the benchmark suite: it sweeps config variants over one already-built
@@ -20,8 +23,6 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import PlannerConfig
@@ -54,7 +55,9 @@ class ScenarioOutcome:
     (``route_count`` entries at most — fewer if planning saturates).
     ``precomputation`` is populated only by in-process sweeps; worker
     processes leave it ``None`` rather than pickling megabytes of
-    spectral state back to the parent.
+    spectral state back to the parent. ``error`` is set (and ``results``
+    left empty) by failure-isolating backends when the scenario raised
+    instead of planning.
     """
 
     scenario: Scenario
@@ -65,6 +68,12 @@ class ScenarioOutcome:
     precomputation: "Precomputation | None" = field(
         default=None, repr=False, compare=False
     )
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario executed without raising."""
+        return self.error is None
 
     @property
     def result(self) -> "PlanResult | None":
@@ -115,7 +124,7 @@ def execute_scenario(
 
 
 class SweepRunner:
-    """Execute scenario grids, optionally in parallel, with a shared cache.
+    """Execute scenario grids over an execution backend, with a shared cache.
 
     Parameters
     ----------
@@ -127,6 +136,12 @@ class SweepRunner:
     workers:
         Process count. ``None`` picks ``min(len(scenarios), cpu_count)``;
         ``0``/``1`` runs serially in-process (no pool, same results).
+    backend:
+        Execution strategy: a name from
+        :data:`repro.sweep.backends.BACKEND_NAMES` (``"serial"``,
+        ``"process"``, ``"sharded"``) or a ready
+        :class:`~repro.sweep.backends.ExecutionBackend` instance.
+        Default ``"process"`` — the PR 1 behavior.
     base_seed:
         Explicit sweep-wide seed applied to every scenario that does
         not set its own (via ``seed`` or a ``seed`` override). ``None``
@@ -150,12 +165,14 @@ class SweepRunner:
         workers: "int | None" = None,
         base_seed: "int | None" = None,
         vary_seeds: bool = False,
+        backend: str = "process",
     ):
         self.base_config = base_config or PlannerConfig()
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.workers = workers
         self.base_seed = None if base_seed is None else int(base_seed)
         self.vary_seeds = bool(vary_seeds)
+        self.backend = backend
         #: Workers used by the most recent :meth:`run` (1 = serial path).
         self.last_worker_count = 0
 
@@ -180,10 +197,10 @@ class SweepRunner:
             resolved.append(scenario)
         return resolved
 
-    def _worker_count(self, n_scenarios: int) -> int:
-        if self.workers is not None:
-            return max(int(self.workers), 1)
-        return max(min(n_scenarios, os.cpu_count() or 1), 1)
+    def _resolve_backend(self):
+        from repro.sweep.backends import resolve_backend
+
+        return resolve_backend(self.backend, workers=self.workers)
 
     def _prewarm(self, resolved) -> set[int]:
         """Compute each unique cold cache key once, in the parent.
@@ -193,18 +210,26 @@ class SweepRunner:
         be paid once per key, as the cache contract promises. Returns
         the indices of the scenarios whose key this call computed, so
         their outcomes can be reported as the misses they really were.
+
+        A scenario whose precompute raises here is skipped, not fatal:
+        its key stays cold and the owning worker recomputes it, so the
+        *backend's* failure semantics (fail-fast, or the sharded
+        backend's per-scenario isolation) decide what the error means.
         """
         cache = PrecomputationCache(self.cache_dir)
         computed: set[int] = set()
         seen: set[str] = set()
         for i, scenario in enumerate(resolved):
-            dataset = _worker_dataset(scenario.city, scenario.profile)
-            config = scenario.planner_config(self.base_config)
-            key = cache.key_for(dataset, config)
-            if key in seen:
+            try:
+                dataset = _worker_dataset(scenario.city, scenario.profile)
+                config = scenario.planner_config(self.base_config)
+                key = cache.key_for(dataset, config)
+                if key in seen:
+                    continue
+                seen.add(key)
+                _, hit = cache.fetch_or_compute(dataset, config)
+            except Exception:  # noqa: BLE001 — the worker re-raises this
                 continue
-            seen.add(key)
-            _, hit = cache.fetch_or_compute(dataset, config)
             if not hit:
                 computed.add(i)
         return computed
@@ -212,35 +237,27 @@ class SweepRunner:
     def run(self, scenarios) -> list[ScenarioOutcome]:
         """Execute every scenario; outcomes keep the input order.
 
-        ``self.last_worker_count`` records how many workers actually ran
-        (1 whenever the serial in-process path was taken).
+        ``self.last_worker_count`` records how many workers the backend
+        actually used (1 whenever a serial in-process path was taken).
         """
         resolved = self.resolve(scenarios)
         if not resolved:
             self.last_worker_count = 0
             return []
-        n_workers = self._worker_count(len(resolved))
-        if n_workers <= 1 or len(resolved) == 1:
-            self.last_worker_count = 1
-            return [
-                execute_scenario(s, self.base_config, self.cache_dir)
-                for s in resolved
-            ]
+        backend = self._resolve_backend()
+        n_workers = backend.effective_workers(len(resolved))
         self.last_worker_count = n_workers
-        prewarmed = self._prewarm(resolved) if self.cache_dir else set()
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            outcomes = list(
-                pool.map(
-                    execute_scenario,
-                    resolved,
-                    [self.base_config] * len(resolved),
-                    [self.cache_dir] * len(resolved),
-                )
-            )
+        prewarmed = (
+            self._prewarm(resolved)
+            if self.cache_dir and n_workers > 1
+            else set()
+        )
+        outcomes = backend.run(resolved, self.base_config, self.cache_dir)
         for i in prewarmed:
             # The worker saw a warm entry only because the parent just
             # computed it; report the scenario as the miss it was.
-            outcomes[i].cache_hit = False
+            if outcomes[i].ok:
+                outcomes[i].cache_hit = False
         return outcomes
 
 
@@ -306,8 +323,9 @@ def outcomes_table(outcomes, title: str = "sweep results") -> str:
                 {True: "hit", False: "miss", None: "-"}[out.cache_hit],
             ])
         if not out.results:
+            marker = "FAILED" if out.error else "-"
             rows.append([
-                out.scenario.name, out.scenario.method, "-", "-", "-", "-",
+                out.scenario.name, out.scenario.method, marker, "-", "-", "-",
                 "-", "-", round(out.precompute_s, 3),
                 {True: "hit", False: "miss", None: "-"}[out.cache_hit],
             ])
@@ -317,6 +335,16 @@ def outcomes_table(outcomes, title: str = "sweep results") -> str:
         rows,
         title=title,
     )
+
+
+def failures_summary(outcomes) -> str:
+    """One line per failed scenario (empty string when all succeeded)."""
+    lines = [
+        f"FAILED {out.scenario.name}: {out.error}"
+        for out in outcomes
+        if out.error
+    ]
+    return "\n".join(lines)
 
 
 def cache_summary(outcomes, cache_dir: "str | None") -> str:

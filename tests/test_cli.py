@@ -52,6 +52,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "natural connectivity" in out
 
+    def test_removal_reaches_final_point(self, capsys):
+        # Regression: the curve must include the high-removal end
+        # (all routes but one removed; chicago-tiny has 5 routes).
+        assert main(["removal", "--city", "chicago", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[1].startswith("0 ")
+        assert any(line.startswith("4 ") for line in out.splitlines())
+
+    def test_removal_tiny_network_fails_gracefully(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        ds = cli_mod.canned_city("chicago", "tiny")
+        reduced = ds.transit.without_routes(set(range(1, ds.transit.n_routes)))
+        import dataclasses
+        one_route = dataclasses.replace(ds, transit=reduced)
+        monkeypatch.setattr(cli_mod, "canned_city", lambda *a, **k: one_route)
+        assert main(["removal", "--city", "chicago", "--profile", "tiny"]) == 2
+        captured = capsys.readouterr()
+        assert "at least 2 routes" in captured.err
+        assert captured.out == ""
+
     def test_bounds(self, capsys):
         assert main(["bounds", "--city", "chicago", "--profile", "tiny",
                      "--k", "4"]) == 0
@@ -167,6 +188,63 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "w=0.4" in out and "anchored" in out
 
+    def test_json_to_stdout(self, capsys):
+        assert main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--no-cache", "--workers", "1", "--json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # pure JSON: no table mixed in
+        assert doc["n_scenarios"] == 1 and doc["n_failed"] == 0
+        assert doc["cache"] is None
+        assert doc["scenarios"][0]["results"][0]["found"] is True
+
+    def test_format_json(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+            "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cache"]["entries"] == 1
+
+    def test_json_file_plus_table(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--no-cache", "--workers", "1", "--json", str(out_path),
+        ]) == 0
+        assert "sweep: 1 scenarios" in capsys.readouterr().out  # table kept
+        doc = json.loads(out_path.read_text())
+        assert doc["backend"] == "process"
+
+    def test_unwritable_json_path_exits_2(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--no-cache", "--workers", "1",
+            "--json", str(tmp_path / "no" / "such" / "dir" / "out.json"),
+        ]) == 2
+        assert "cannot write JSON report" in capsys.readouterr().err
+
+    def test_backend_flag(self, tmp_path, capsys):
+        for backend in ("serial", "sharded"):
+            assert main([
+                "sweep", "--city", "chicago", "--profile", "tiny",
+                "--methods", "eta-pre", "--weights", "0.4,0.6",
+                "--k", "6", "--iterations", "120", "--seed-count", "80",
+                "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+                "--backend", backend,
+            ]) == 0
+            assert f"({backend} backend)" in capsys.readouterr().out
+
     def test_yaml_grid_when_available(self, tmp_path, capsys):
         yaml = pytest.importorskip("yaml")
         grid = tmp_path / "grid.yaml"
@@ -179,3 +257,110 @@ class TestSweepCommand:
         }))
         assert main(["sweep", "--grid", str(grid), "--no-cache"]) == 0
         assert "method=eta-pre" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _sweep(self, tmp_path, extra=()):
+        return main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+            *extra,
+        ])
+
+    def test_stats(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "total bytes" in out
+
+    def test_evict_requires_budget(self, tmp_path, capsys):
+        (tmp_path / "cache").mkdir()
+        assert main(["cache", "evict",
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "--max-entries" in capsys.readouterr().err
+
+    def test_missing_directory_exits_2_without_creating(self, tmp_path, capsys):
+        missing = tmp_path / "typo-cache"
+        for sub in (["stats"], ["evict", "--max-entries", "1"], ["clear"]):
+            assert main(["cache", *sub, "--cache-dir", str(missing)]) == 2
+            assert "no such cache directory" in capsys.readouterr().err
+            assert not missing.exists()
+
+    def test_evict_and_clear(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        # A second precompute-relevant config makes a second entry.
+        assert main([
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.5", "--seed", "9",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "evict", "--max-entries", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "evicted 1 entries; 1 remain" in capsys.readouterr().out
+        assert main(["cache", "clear",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_sweep_cache_max_bytes(self, tmp_path, capsys):
+        assert self._sweep(tmp_path, extra=["--cache-max-bytes", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "evicted 1 entries" in captured.err
+        cache_dir = tmp_path / "cache"
+        assert not any(cache_dir.glob("*.npz"))
+
+
+class TestAcceptanceFlow:
+    """ISSUE 2 acceptance: sharded sweep with a failure → JSON → evict."""
+
+    def test_sharded_json_failure_then_evict(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {
+                "city": "chicago", "profile": "tiny",
+                "config": {"k": 6, "max_iterations": 120, "seed_count": 80},
+            },
+            "axes": {"method": ["eta-pre", "vk-tsp"],
+                     "w": [0.3, 0.5, 0.7, 0.9]},
+            "scenarios": [
+                {"name": "doomed", "constraints": {"anchor_stop": 999999}},
+            ],
+        }))
+        out_path = tmp_path / "out.json"
+        cache_dir = tmp_path / "cache"
+        rc = main([
+            "sweep", "--grid", str(grid), "--backend", "sharded",
+            "--workers", "2", "--cache-dir", str(cache_dir),
+            "--json", str(out_path),
+        ])
+        assert rc == 1  # partial failure
+        captured = capsys.readouterr()
+        assert "FAILED doomed" in captured.err
+
+        doc = json.loads(out_path.read_text())
+        assert doc["n_scenarios"] == 9  # 8-scenario grid + the doomed one
+        assert doc["n_ok"] == 8 and doc["n_failed"] == 1
+        by_name = {s["name"]: s for s in doc["scenarios"]}
+        assert "anchor stop" in by_name["doomed"]["error"]
+        for name, rec in by_name.items():
+            if name != "doomed":
+                assert rec["ok"] and rec["results"][0]["found"]
+
+        # Second entry (different precompute seed), then evict to one.
+        assert main([
+            "sweep", "--grid", str(grid), "--backend", "sharded",
+            "--seed", "5", "--workers", "2",
+            "--cache-dir", str(cache_dir), "--json", str(out_path),
+        ]) == 1
+        capsys.readouterr()
+        assert main(["cache", "evict", "--max-entries", "1",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        # Exactly one committed artifact pair remains.
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        assert len(list(cache_dir.glob("*.npz"))) == 1

@@ -73,6 +73,27 @@ class TestIncrementModes:
         rb = np.argsort(np.argsort(b))
         assert np.corrcoef(ra, rb)[0, 1] > 0.5
 
+    def test_sketch_mode_honors_n_probes(self, small_dataset, small_config):
+        """Regression: ``config.n_probes`` must reach the ExpmSketch.
+
+        ``precompute()`` used to drop it (the sketch always ran its 256
+        default) while the cache key still varied on ``n_probes`` —
+        duplicate cache entries for identical artifacts and a dead knob.
+        Different probe counts must now produce different sketch deltas.
+        """
+        few = precompute(
+            small_dataset,
+            small_config.variant(increment_mode="sketch", n_probes=8),
+        )
+        many = precompute(
+            small_dataset,
+            small_config.variant(increment_mode="sketch", n_probes=64),
+        )
+        new = few.universe.is_new
+        assert not np.array_equal(
+            few.universe.delta[new], many.universe.delta[new]
+        )
+
     def test_unknown_mode_rejected(self, small_pre):
         with pytest.raises(ValueError):
             compute_edge_increments(

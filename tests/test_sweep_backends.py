@@ -1,0 +1,250 @@
+"""Execution-backend tests: oracle equality, sharding, failure isolation.
+
+The backend contract (see :mod:`repro.sweep.backends`): every backend
+returns outcomes in input order that are bit-identical to serial
+planner-facade calls; the sharded backend additionally isolates
+per-scenario failures instead of killing the sweep.
+"""
+
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.constraints import PlanningConstraints
+from repro.sweep import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    Scenario,
+    SerialBackend,
+    ShardedBackend,
+    SweepRunner,
+    execute_shard,
+    expand_grid,
+    make_shards,
+    outcomes_table,
+    resolve_backend,
+)
+from repro.sweep.backends import failure_outcome
+from repro.utils.errors import PlanningError
+
+BASE = PlannerConfig(k=8, max_iterations=150, seed_count=100)
+
+GRID = {
+    "w": [0.3, 0.5, 0.7],
+    "method": ["eta-pre", "vk-tsp"],
+}
+
+
+@pytest.fixture(scope="module")
+def grid_scenarios():
+    return expand_grid(GRID, city="chicago", profile="tiny")
+
+
+@pytest.fixture(scope="module")
+def backend_outcomes(grid_scenarios, tmp_path_factory):
+    """The same grid through all three backends (shared warm cache)."""
+    cache_dir = str(tmp_path_factory.mktemp("backend-cache"))
+    outcomes = {}
+    for backend in BACKEND_NAMES:
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=cache_dir, workers=2, backend=backend
+        )
+        outcomes[backend] = runner.run(grid_scenarios)
+    return outcomes
+
+
+class TestBackendOracle:
+    """serial, process, and sharded must produce identical PlanResults."""
+
+    def test_all_backends_agree(self, backend_outcomes):
+        reference = backend_outcomes["serial"]
+        assert len(reference) == 6
+        for backend in ("process", "sharded"):
+            for ref, out in zip(reference, backend_outcomes[backend]):
+                assert out.ok
+                assert out.scenario.name == ref.scenario.name
+                assert out.result.route.edge_indices == (
+                    ref.result.route.edge_indices
+                )
+                assert out.result.route.stops == ref.result.route.stops
+                assert out.result.objective == ref.result.objective
+                assert out.result.search_score == ref.result.search_score
+                assert out.result.o_d == ref.result.o_d
+                assert out.result.o_lambda == ref.result.o_lambda
+                assert out.result.iterations == ref.result.iterations
+
+    def test_outcomes_keep_input_order(self, grid_scenarios, backend_outcomes):
+        for backend in BACKEND_NAMES:
+            names = [o.scenario.name for o in backend_outcomes[backend]]
+            assert names == [s.name for s in grid_scenarios]
+
+
+class TestResolveBackend:
+    def test_cli_choices_match_registry(self):
+        # cli.BACKEND_CHOICES is a deliberate literal mirror (so parser
+        # construction does not import this package); pin them equal.
+        from repro.cli import BACKEND_CHOICES
+
+        assert BACKEND_CHOICES == BACKEND_NAMES
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("process", workers=3), ProcessBackend)
+        assert isinstance(resolve_backend("sharded", workers=3), ShardedBackend)
+
+    def test_instance_passthrough(self):
+        backend = ShardedBackend(workers=5, shard_size=2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PlanningError, match="unknown execution backend"):
+            resolve_backend("quantum")
+
+    def test_runner_rejects_unknown_backend(self, grid_scenarios):
+        runner = SweepRunner(base_config=BASE, backend="quantum")
+        with pytest.raises(PlanningError):
+            runner.run(grid_scenarios)
+
+    def test_workers_forwarded(self):
+        assert resolve_backend("process", workers=7).effective_workers(100) == 7
+        assert resolve_backend("sharded", workers=7).effective_workers(100) == 7
+
+    def test_single_scenario_is_serial(self):
+        for name in ("process", "sharded"):
+            assert resolve_backend(name, workers=4).effective_workers(1) == 1
+
+
+class TestMakeShards:
+    def test_every_scenario_exactly_once(self, grid_scenarios):
+        shards = make_shards(grid_scenarios, 2)
+        indices = sorted(i for shard in shards for i, _ in shard)
+        assert indices == list(range(len(grid_scenarios)))
+
+    def test_default_one_shard_per_worker(self, grid_scenarios):
+        shards = make_shards(grid_scenarios, 2)
+        assert len(shards) == 2
+        assert {len(s) for s in shards} == {3}
+
+    def test_explicit_shard_size(self, grid_scenarios):
+        shards = make_shards(grid_scenarios, 2, shard_size=2)
+        assert [len(s) for s in shards] == [2, 2, 2]
+
+    def test_groups_by_dataset(self):
+        scenarios = [
+            Scenario(name="a", city="chicago", profile="tiny"),
+            Scenario(name="b", city="nyc", profile="tiny"),
+            Scenario(name="c", city="chicago", profile="tiny"),
+            Scenario(name="d", city="nyc", profile="tiny"),
+        ]
+        shards = make_shards(scenarios, 2)
+        cities = [[s.city for _, s in shard] for shard in shards]
+        # Same-dataset scenarios end up contiguous (one shard each here).
+        assert cities == [["chicago", "chicago"], ["nyc", "nyc"]]
+
+    def test_empty(self):
+        assert make_shards([], 4) == []
+
+
+class TestFailureIsolation:
+    """One bad scenario must not kill a sharded sweep (acceptance)."""
+
+    @pytest.fixture(scope="class")
+    def mixed_outcomes(self, tmp_path_factory):
+        scenarios = expand_grid(
+            GRID, city="chicago", profile="tiny"
+        ) + [
+            Scenario(
+                name="ok-anchor",
+                constraints=PlanningConstraints(anchor_stop=0),
+            ),
+            Scenario(
+                name="bad-anchor",
+                constraints=PlanningConstraints(anchor_stop=999_999),
+            ),
+        ]
+        assert len(scenarios) >= 8
+        runner = SweepRunner(
+            base_config=BASE,
+            cache_dir=str(tmp_path_factory.mktemp("fail-cache")),
+            workers=2,
+            backend="sharded",
+        )
+        return scenarios, runner.run(scenarios)
+
+    def test_failure_recorded_others_survive(self, mixed_outcomes):
+        scenarios, outcomes = mixed_outcomes
+        assert len(outcomes) == len(scenarios)
+        by_name = {o.scenario.name: o for o in outcomes}
+        bad = by_name["bad-anchor"]
+        assert not bad.ok
+        assert bad.results == ()
+        assert "anchor stop" in bad.error
+        for name, outcome in by_name.items():
+            if name != "bad-anchor":
+                assert outcome.ok
+                assert outcome.result is not None
+
+    def test_failed_row_marked_in_table(self, mixed_outcomes):
+        _, outcomes = mixed_outcomes
+        table = outcomes_table(outcomes)
+        assert "FAILED" in table
+        assert "bad-anchor" in table
+
+    def test_serial_backend_stays_fail_fast(self, tmp_path):
+        bad = Scenario(
+            name="bad", constraints=PlanningConstraints(anchor_stop=999_999)
+        )
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=str(tmp_path), backend="serial"
+        )
+        with pytest.raises(Exception, match="anchor stop"):
+            runner.run([bad])
+
+    def test_execute_shard_isolates_and_indexes(self, tmp_path):
+        good = Scenario(name="good")
+        bad = Scenario(
+            name="bad", constraints=PlanningConstraints(anchor_stop=999_999)
+        )
+        pairs = execute_shard(
+            [(4, good), (9, bad)], BASE, str(tmp_path)
+        )
+        assert [i for i, _ in pairs] == [4, 9]
+        assert pairs[0][1].ok and pairs[0][1].result is not None
+        assert not pairs[1][1].ok
+
+    def test_prewarm_error_defers_to_backend(self, tmp_path, monkeypatch):
+        """A precompute that raises in the parent's prewarm must not kill
+        the sweep: the key stays cold and the workers (where the sharded
+        backend isolates failures) own the error."""
+        import os
+
+        import repro.sweep.cache as cache_mod
+
+        parent_pid = os.getpid()
+        real_precompute = cache_mod.precompute
+
+        def _boom(dataset, config):
+            # Fork-started workers inherit this patch, so gate on pid:
+            # only the parent's prewarm call explodes.
+            if os.getpid() == parent_pid:
+                raise RuntimeError("parent-side precompute exploded")
+            return real_precompute(dataset, config)
+
+        monkeypatch.setattr(cache_mod, "precompute", _boom)
+        scenarios = expand_grid(
+            {"w": [0.3, 0.7]}, city="chicago", profile="tiny"
+        )
+        runner = SweepRunner(
+            base_config=BASE,
+            cache_dir=str(tmp_path),
+            workers=2,
+            backend="sharded",
+        )
+        outcomes = runner.run(scenarios)  # must not raise
+        assert all(o.ok for o in outcomes)
+        assert all(o.result is not None for o in outcomes)
+
+    def test_failure_outcome_shape(self):
+        out = failure_outcome(Scenario(name="x"), ValueError("boom"))
+        assert out.error == "ValueError: boom"
+        assert out.results == () and out.result is None
+        assert not out.ok

@@ -7,6 +7,7 @@ restores every array bit-exactly.
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -253,3 +254,161 @@ class TestCacheStore:
         pre, hit = cache.fetch_or_compute(micro, micro_config)
         assert hit is False
         assert pre is not None
+
+    def test_widened_spectrum_hit_skips_eigen_recompute(
+        self, micro, micro_config, tmp_path, monkeypatch
+    ):
+        """The re-persisted widened artifact makes later loads eigen-free.
+
+        fetch_or_compute with a larger k widens the stored spectrum and
+        stores the widened artifact back; a subsequent load of the same
+        key must then reconstruct without ever calling
+        ``top_k_eigenvalues`` again.
+        """
+        import sys
+
+        # `import repro.core.precompute as m` would resolve to the
+        # same-named *function* re-exported by repro.core.
+        precompute_mod = sys.modules["repro.core.precompute"]
+
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)  # k=5's spectrum
+        bigger = micro_config.variant(k=9)
+        cache.fetch_or_compute(micro, bigger)  # widens + re-persists
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("spectrum recomputed despite re-persist")
+
+        monkeypatch.setattr(precompute_mod, "top_k_eigenvalues", _boom)
+        pre, hit = cache.fetch_or_compute(micro, bigger)
+        assert hit is True
+        assert pre.spectrum_widened is False
+
+    def test_store_leaves_no_staging_files(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)
+        cache.fetch_or_compute(micro, micro_config.variant(seed=5))
+        leftovers = [
+            n for n in os.listdir(tmp_path)
+            if not (n.endswith(".json") or n.endswith(".npz"))
+        ]
+        assert leftovers == []
+        assert cache.n_entries == 2
+
+    def test_concurrent_stores_same_key(self, micro, micro_config, tmp_path):
+        """Same-key stores from two handles commit a readable entry.
+
+        Regression for the mkstemp→unlink→reuse staging race: each store
+        call must stage in its own private namespace.
+        """
+        a = PrecomputationCache(str(tmp_path))
+        b = PrecomputationCache(str(tmp_path))
+        pre = precompute(micro, micro_config)
+        key_a = a.store(pre, micro)
+        key_b = b.store(pre, micro)
+        assert key_a == key_b
+        assert a.n_entries == 1
+        assert a.load(micro, micro_config) is not None
+
+
+class TestEntriesAccounting:
+    def test_foreign_json_not_counted(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)
+        # A shared/dirty directory: stray configs, notes, tmp leftovers.
+        (tmp_path / "notes.json").write_text("{}")
+        (tmp_path / "deadbeef.json").write_text("{}")  # short, not a key
+        (tmp_path / ("a" * 32 + ".tmp.json")).write_text("{}")
+        assert cache.n_entries == 1
+
+    def test_marker_without_npz_not_counted(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)
+        orphan = "0" * 32
+        (tmp_path / f"{orphan}.json").write_text("{}")
+        assert cache.n_entries == 1
+        assert [e.key for e in cache.entries()] != [orphan]
+
+    def test_total_bytes_matches_files(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        cache.fetch_or_compute(micro, micro_config)
+        key = cache.key_for(micro, micro_config)
+        want = (
+            os.path.getsize(tmp_path / f"{key}.json")
+            + os.path.getsize(tmp_path / f"{key}.npz")
+        )
+        assert cache.total_bytes == want
+
+
+class TestEviction:
+    def _fill(self, cache, micro, micro_config, seeds):
+        """One committed entry per seed (seed is precompute-relevant)."""
+        keys = []
+        for seed in seeds:
+            cfg = micro_config.variant(seed=seed)
+            cache.fetch_or_compute(micro, cfg)
+            key = cache.key_for(micro, cfg)
+            # Spread mtimes so LRU order is deterministic on coarse
+            # filesystem timestamps.
+            os.utime(
+                os.path.join(cache.directory, f"{key}.json"),
+                (1_000_000 + seed, 1_000_000 + seed),
+            )
+            keys.append(key)
+        return keys
+
+    def test_max_entries_keeps_newest(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        keys = self._fill(cache, micro, micro_config, [1, 2, 3])
+        evicted = cache.evict(max_entries=1)
+        assert evicted == keys[:2]  # oldest first
+        assert [e.key for e in cache.entries()] == [keys[2]]
+        # Both files of each evicted pair are gone.
+        for key in keys[:2]:
+            assert not os.path.exists(tmp_path / f"{key}.json")
+            assert not os.path.exists(tmp_path / f"{key}.npz")
+
+    def test_max_bytes_budget(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        self._fill(cache, micro, micro_config, [1, 2, 3])
+        per_entry = cache.total_bytes // 3
+        evicted = cache.evict(max_bytes=2 * per_entry + per_entry // 2)
+        assert len(evicted) == 1
+        assert cache.n_entries == 2
+        assert cache.total_bytes <= 2 * per_entry + per_entry // 2
+
+    def test_no_budgets_is_noop(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        self._fill(cache, micro, micro_config, [1])
+        assert cache.evict() == []
+        assert cache.n_entries == 1
+
+    def test_zero_entries_evicts_all(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        self._fill(cache, micro, micro_config, [1, 2])
+        assert len(cache.evict(max_entries=0)) == 2
+        assert cache.n_entries == 0
+
+    def test_hit_refreshes_lru_position(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        keys = self._fill(cache, micro, micro_config, [1, 2])
+        # Touch the older entry via a hit: it must now outlive the newer.
+        cache.fetch_or_compute(micro, micro_config.variant(seed=1))
+        evicted = cache.evict(max_entries=1)
+        assert evicted == [keys[1]]
+        assert [e.key for e in cache.entries()] == [keys[0]]
+
+    def test_foreign_files_survive_eviction(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        self._fill(cache, micro, micro_config, [1])
+        (tmp_path / "notes.json").write_text("{}")
+        cache.evict(max_entries=0)
+        cache.clear()
+        assert (tmp_path / "notes.json").exists()
+
+    def test_clear(self, micro, micro_config, tmp_path):
+        cache = PrecomputationCache(str(tmp_path))
+        self._fill(cache, micro, micro_config, [1, 2])
+        assert cache.clear() == 2
+        assert cache.n_entries == 0
+        assert cache.clear() == 0

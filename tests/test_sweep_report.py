@@ -1,0 +1,113 @@
+"""SweepReport tests: stable, valid JSON for successes and failures."""
+
+import json
+
+import pytest
+
+from repro.core.config import PlannerConfig
+from repro.core.constraints import PlanningConstraints
+from repro.sweep import (
+    Scenario,
+    SweepReport,
+    SweepRunner,
+    expand_grid,
+    scenario_record,
+)
+from repro.sweep.report import SCHEMA_VERSION
+
+BASE = PlannerConfig(k=8, max_iterations=150, seed_count=100)
+
+
+@pytest.fixture(scope="module")
+def outcomes(tmp_path_factory):
+    scenarios = expand_grid(
+        {"w": [0.3, 0.6]}, city="chicago", profile="tiny"
+    ) + [
+        Scenario(
+            name="bad",
+            constraints=PlanningConstraints(anchor_stop=999_999),
+        ),
+    ]
+    runner = SweepRunner(
+        base_config=BASE,
+        cache_dir=str(tmp_path_factory.mktemp("report-cache")),
+        workers=2,
+        backend="sharded",
+    )
+    return runner.run(scenarios), runner
+
+
+@pytest.fixture(scope="module")
+def document(outcomes):
+    outs, runner = outcomes
+    report = SweepReport.from_outcomes(
+        outs,
+        backend="sharded",
+        workers=runner.last_worker_count,
+        cache_dir=runner.cache_dir,
+    )
+    return json.loads(report.to_json())
+
+
+class TestDocument:
+    def test_header(self, document):
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["n_scenarios"] == 3
+        assert document["n_ok"] == 2
+        assert document["n_failed"] == 1
+        assert document["backend"] == "sharded"
+        assert document["workers"] >= 1
+
+    def test_cache_block(self, document):
+        cache = document["cache"]
+        assert cache["hits"] + cache["misses"] == 2  # failed scenario: None
+        assert cache["entries"] == 1
+        assert cache["total_bytes"] > 0
+
+    def test_success_record(self, document):
+        rec = document["scenarios"][0]
+        assert rec["name"] == "w=0.3"
+        assert rec["ok"] is True and rec["error"] is None
+        assert rec["overrides"] == {"w": 0.3}
+        assert rec["cache_hit"] in (True, False)
+        assert rec["total_s"] >= rec["precompute_s"] >= 0
+        (result,) = rec["results"]
+        assert result["found"] is True
+        assert result["n_edges"] >= 1
+        assert isinstance(result["stops"], list)
+        assert result["length_km"] > 0
+        assert isinstance(result["objective"], float)
+
+    def test_failure_record(self, document):
+        rec = document["scenarios"][2]
+        assert rec["name"] == "bad"
+        assert rec["ok"] is False
+        assert "anchor stop" in rec["error"]
+        assert rec["results"] == []
+        assert rec["constraints"]["anchor_stop"] == 999_999
+
+    def test_json_is_pure(self, document):
+        # A full dump/load round-trip means every leaf is JSON-native.
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestApi:
+    def test_no_cache_dir_omits_cache_block(self, outcomes):
+        outs, _ = outcomes
+        report = SweepReport.from_outcomes(outs)
+        assert report.to_dict()["cache"] is None
+
+    def test_write_roundtrip(self, outcomes, tmp_path):
+        outs, _ = outcomes
+        path = tmp_path / "report.json"
+        SweepReport.from_outcomes(outs).write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["n_scenarios"] == 3
+
+    def test_scenario_record_constraints_none(self, outcomes):
+        outs, _ = outcomes
+        assert scenario_record(outs[0])["constraints"] is None
+
+    def test_n_failed_property(self, outcomes):
+        outs, _ = outcomes
+        assert SweepReport.from_outcomes(outs).n_failed == 1
