@@ -5,12 +5,17 @@ Commands
 ``stats``    print dataset statistics (Table 5 style).
 ``plan``     plan a route on a canned city and print route + metrics.
 ``sweep``    run a scenario grid over an execution backend with a
-             persistent precomputation cache; results as a table or
-             JSON (``--json`` / ``--format json``).
+             persistent precomputation cache; results as a table, JSON
+             (``--json`` / ``--format json``), or a streaming JSONL
+             record per scenario (``--stream``, resumable with
+             ``--resume`` / ``--retry-failures``).
 ``cache``    inspect and bound the precomputation cache
              (``stats`` / ``evict`` / ``clear``).
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
+
+The full flag-by-flag reference, including exit-code semantics, lives
+in ``docs/cli.md``.
 
 Examples::
 
@@ -20,6 +25,8 @@ Examples::
         --weights 0.3,0.5,0.7
     python -m repro sweep --grid grid.yaml --backend sharded --json out.json
     python -m repro sweep --city chicago --profile tiny --json -
+    python -m repro sweep --grid grid.yaml --stream out.jsonl
+    python -m repro sweep --grid grid.yaml --stream out.jsonl --resume
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache evict --max-entries 8 --max-bytes 50000000
     python -m repro removal --city nyc --profile small
@@ -150,6 +157,54 @@ def _sweep_scenarios(args):
     return scenarios, base
 
 
+def _check_stream_flags(args) -> "str | None":
+    """Flag-combination errors for the streaming options (None = fine)."""
+    if args.resume and not args.stream:
+        return "--resume requires --stream PATH"
+    if args.resume and args.stream == "-":
+        return "--resume needs a stream file to reload, not '-'"
+    if args.retry_failures and not args.resume:
+        return "--retry-failures requires --resume"
+    if args.stream == "-" and (args.json == "-" or args.format == "json"):
+        return "--stream - and JSON-to-stdout both claim stdout; pick one"
+    return None
+
+
+def _stream_sweep(args, runner, scenarios):
+    """Run a streaming sweep with live progress lines on stderr."""
+    state = {"done": 0, "pending": 0}
+
+    def announce(n_total: int, n_replayed: int) -> None:
+        state["pending"] = n_total - n_replayed
+        if args.resume:
+            print(
+                f"resume: {n_replayed} of {n_total} scenarios already "
+                f"committed in {args.stream}; running {state['pending']}",
+                file=sys.stderr,
+            )
+
+    def on_record(index: int, record: dict) -> None:
+        state["done"] += 1
+        status = "ok" if record["ok"] else "FAILED"
+        cache = {True: "cache hit", False: "cache miss", None: "no cache"}[
+            record["cache_hit"]
+        ]
+        print(
+            f"[{state['done']}/{state['pending']}] {record['name']}: "
+            f"{status} ({record['total_s']:.2f}s, {cache})",
+            file=sys.stderr,
+        )
+
+    return runner.run_stream(
+        scenarios,
+        args.stream,
+        resume=args.resume,
+        retry_failures=args.retry_failures,
+        announce=announce,
+        on_record=on_record,
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.sweep import (
         PrecomputationCache,
@@ -160,7 +215,12 @@ def _cmd_sweep(args) -> int:
         outcomes_table,
     )
 
+    flag_error = _check_stream_flags(args)
+    if flag_error:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return 2
     cache_dir = None if args.no_cache else args.cache_dir
+    stream_run = None
     try:
         scenarios, base = _sweep_scenarios(args)
         runner = SweepRunner(
@@ -170,7 +230,18 @@ def _cmd_sweep(args) -> int:
             base_seed=args.seed,
             backend=args.backend,
         )
-        outcomes = runner.run(scenarios)
+        if args.stream:
+            try:
+                stream_run = _stream_sweep(args, runner, scenarios)
+            except OSError as exc:
+                # Scoped to the stream branch: an OSError from a plain
+                # sweep (e.g. a cache write) keeps its real traceback.
+                print(f"error: cannot write stream file: {exc}",
+                      file=sys.stderr)
+                return 2
+            records = [r for r in stream_run.records if r is not None]
+        else:
+            outcomes = runner.run(scenarios)
     except (PlanningError, ValidationError, DataError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -178,12 +249,20 @@ def _cmd_sweep(args) -> int:
     # document, so the table is suppressed to keep it machine-parseable.
     json_to_stdout = args.json == "-" or args.format == "json"
     if args.json or json_to_stdout:
-        report = SweepReport.from_outcomes(
-            outcomes,
-            backend=args.backend,
-            workers=runner.last_worker_count,
-            cache_dir=cache_dir,
-        )
+        if stream_run is not None:
+            report = SweepReport.from_records(
+                records,
+                backend=args.backend,
+                workers=runner.last_worker_count,
+                cache_dir=cache_dir,
+            )
+        else:
+            report = SweepReport.from_outcomes(
+                outcomes,
+                backend=args.backend,
+                workers=runner.last_worker_count,
+                cache_dir=cache_dir,
+            )
     if args.json and args.json != "-":
         try:
             report.write(args.json)
@@ -192,6 +271,23 @@ def _cmd_sweep(args) -> int:
             return 2
     if json_to_stdout:
         print(report.to_json())
+    elif stream_run is not None:
+        # Per-scenario output already went to the stream; keep stdout to
+        # a one-line summary (suppressed entirely for `--stream -`,
+        # whose stdout *is* the stream).
+        if args.stream != "-":
+            summary = stream_run.summary
+            print(
+                f"sweep: {summary['n_scenarios']} scenarios "
+                f"({stream_run.n_replayed} replayed), "
+                f"{summary['n_failed']} failed -> {args.stream}"
+            )
+            if summary.get("cache"):
+                c = summary["cache"]
+                print(
+                    f"precomputation cache [{c['dir']}]: {c['hits']} hits, "
+                    f"{c['misses']} misses, {c['entries']} entries on disk"
+                )
     else:
         print(outcomes_table(
             outcomes,
@@ -203,7 +299,12 @@ def _cmd_sweep(args) -> int:
         ))
         print()
         print(cache_summary(outcomes, cache_dir))
-    failures = failures_summary(outcomes)
+    if stream_run is not None:
+        failures = "\n".join(
+            f"FAILED {r['name']}: {r['error']}" for r in records if not r["ok"]
+        )
+    else:
+        failures = failures_summary(outcomes)
     if failures:
         print(failures, file=sys.stderr)
     if cache_dir and args.cache_max_bytes is not None:
@@ -378,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--format", choices=("table", "json"),
                          default="table",
                          help="stdout format (json suppresses the table)")
+    p_sweep.add_argument("--stream", default="", metavar="PATH",
+                         help="stream one flushed JSONL record per scenario "
+                              "as it finishes to PATH ('-' streams to "
+                              "stdout), plus a terminal summary record")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="reload the --stream file and run only the "
+                              "scenarios without a committed record "
+                              "(interrupted sweeps continue, finished "
+                              "sweeps are a no-op)")
+    p_sweep.add_argument("--retry-failures", action="store_true",
+                         help="with --resume: also re-run scenarios whose "
+                              "committed record is a failure")
     p_sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                          help="persistent precomputation cache directory")
     p_sweep.add_argument("--no-cache", action="store_true",

@@ -32,7 +32,27 @@ Structured results
 :class:`SweepReport` serializes outcomes to JSON (schema versioned):
 per-scenario config/cache/timing/result records plus sweep metadata.
 ``repro sweep --json out.json`` (or ``--json -`` / ``--format json``
-for stdout) emits it from the CLI.
+for stdout) emits it from the CLI. Both the JSON document and the
+streaming records below share one :data:`SCHEMA_VERSION` constant
+(exported here) for downstream compatibility checks.
+
+Streaming results and resumable sweeps
+--------------------------------------
+Backends expose an event channel: ``run(..., on_outcome=...)`` invokes
+the callback in the parent as each scenario finishes, and
+:meth:`SweepRunner.run_stream` turns that into an append-only JSONL
+stream (:class:`StreamWriter`) — one flushed ``scenario`` record per
+completed scenario, then a terminal ``summary`` record with the
+:class:`SweepReport` header fields. Each record carries a
+``(scenario-key, cache-key)`` identity pair
+(:func:`~repro.sweep.scenario.scenario_key` over the resolved spec +
+config; the content-addressed precompute key), which makes interrupted
+sweeps **resumable**: ``run_stream(..., resume=True)`` reloads the
+file (:func:`read_stream` drops the torn final line a kill leaves
+behind), replays committed records, and executes only the missing
+scenarios — re-running failures too with ``retry_failures=True``.
+CLI: ``repro sweep --stream out.jsonl`` / ``--stream -`` /
+``--resume`` / ``--retry-failures``.
 
 Eviction policy
 ---------------
@@ -79,26 +99,35 @@ Entry points
 ------------
 * ``repro sweep`` — the CLI: a YAML/JSON grid (or inline axes) in, a
   tidy results table and a cache hit/miss summary out.
-* :class:`SweepRunner` — the library API used by the CLI and tests.
+* :class:`SweepRunner` — the library API used by the CLI and tests;
+  :meth:`SweepRunner.run_stream` for streaming/resumable execution.
 * :func:`sweep_precomputation` — in-process variant sweeps over one
   shared precomputation (what the benchmark tables/figures run on).
+
+The maintained prose version of the backend contract, the streaming
+event channel, and the cache-key/artifact contract above lives in
+``docs/architecture.md``; the CLI reference in ``docs/cli.md``. Keep
+this docstring and those documents in sync.
 """
 
 from repro.sweep.cache import (
     CacheEntry,
     PrecomputationCache,
     cache_key,
+    combine_fingerprints,
     config_fingerprint,
     dataset_fingerprint,
 )
 from repro.sweep.runner import (
     ScenarioOutcome,
+    StreamRun,
     SweepRunner,
     cache_summary,
     derive_scenario_seed,
     execute_scenario,
     failures_summary,
     outcomes_table,
+    scenario_cache_key,
     sweep_precomputation,
 )
 from repro.sweep.backends import (
@@ -111,8 +140,17 @@ from repro.sweep.backends import (
     make_shards,
     resolve_backend,
 )
-from repro.sweep.report import SweepReport, scenario_record
-from repro.sweep.scenario import Scenario, expand_grid, load_grid
+from repro.sweep.report import (
+    SCHEMA_VERSION,
+    StreamRecords,
+    StreamWriter,
+    SweepReport,
+    read_stream,
+    scenario_record,
+    stream_scenario_record,
+    summary_record,
+)
+from repro.sweep.scenario import Scenario, expand_grid, load_grid, scenario_key
 
 __all__ = [
     "BACKEND_NAMES",
@@ -120,14 +158,19 @@ __all__ = [
     "ExecutionBackend",
     "PrecomputationCache",
     "ProcessBackend",
+    "SCHEMA_VERSION",
     "Scenario",
     "ScenarioOutcome",
     "SerialBackend",
     "ShardedBackend",
+    "StreamRecords",
+    "StreamRun",
+    "StreamWriter",
     "SweepReport",
     "SweepRunner",
     "cache_key",
     "cache_summary",
+    "combine_fingerprints",
     "config_fingerprint",
     "dataset_fingerprint",
     "derive_scenario_seed",
@@ -138,7 +181,12 @@ __all__ = [
     "load_grid",
     "make_shards",
     "outcomes_table",
+    "read_stream",
     "resolve_backend",
+    "scenario_cache_key",
+    "scenario_key",
     "scenario_record",
+    "stream_scenario_record",
+    "summary_record",
     "sweep_precomputation",
 ]

@@ -15,12 +15,27 @@ A backend is any object with:
 ``effective_workers(n_scenarios)``
     The worker-process count the backend would use for a grid of that
     size (``1`` means fully in-process).
-``run(scenarios, base_config, cache_dir)``
+``run(scenarios, base_config, cache_dir, on_outcome=None)``
     Execute already-*resolved* scenarios and return one
     :class:`~repro.sweep.runner.ScenarioOutcome` per scenario **in input
     order**. Workers must plan through
     :func:`~repro.sweep.runner.execute_scenario` so results stay
     bit-identical to serial planner-facade calls (the oracle contract).
+
+Streaming event channel
+-----------------------
+``on_outcome`` is the streaming side-channel: when given, the backend
+calls ``on_outcome(index, outcome)`` in the *parent* process as each
+scenario finishes, where ``index`` is the scenario's position in the
+input list. Callbacks fire in completion order (which is input order
+only for :class:`SerialBackend`); each index fires exactly once. The
+sharded backend reports per scenario but with per-shard granularity —
+a shard's outcomes are delivered together when the shard returns. The
+returned list is unchanged by streaming, so callers that ignore
+``on_outcome`` see the PR 2 contract verbatim. A callback that raises
+aborts the sweep (it is the caller's transport, e.g. a
+:class:`~repro.sweep.report.StreamWriter`, and a broken transport is a
+real error).
 
 Failure semantics
 -----------------
@@ -126,6 +141,7 @@ class ExecutionBackend:
         scenarios,
         base_config: "PlannerConfig | None" = None,
         cache_dir: "str | None" = None,
+        on_outcome=None,
     ) -> list[ScenarioOutcome]:
         raise NotImplementedError
 
@@ -139,7 +155,7 @@ class SerialBackend(ExecutionBackend):
 
     The reference semantics every other backend must match — and the
     cheapest choice for single-scenario grids or debugging (no pool, no
-    pickling, real tracebacks).
+    pickling, real tracebacks). Streaming callbacks fire in input order.
     """
 
     name = "serial"
@@ -147,10 +163,14 @@ class SerialBackend(ExecutionBackend):
     def effective_workers(self, n_scenarios: int) -> int:
         return 1
 
-    def run(self, scenarios, base_config=None, cache_dir=None):
-        return [
-            execute_scenario(s, base_config, cache_dir) for s in scenarios
-        ]
+    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
+        outcomes = []
+        for index, scenario in enumerate(scenarios):
+            outcome = execute_scenario(scenario, base_config, cache_dir)
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+            outcomes.append(outcome)
+        return outcomes
 
 
 @dataclass(repr=False)
@@ -158,7 +178,9 @@ class ProcessBackend(ExecutionBackend):
     """One task per scenario over a ``ProcessPoolExecutor``; fail-fast.
 
     The PR 1 execution path. Falls back to the serial loop when one
-    worker (or one scenario) makes a pool pointless.
+    worker (or one scenario) makes a pool pointless. Tasks are submitted
+    individually and gathered with ``as_completed``, so streaming
+    callbacks fire as soon as each scenario's worker returns.
     """
 
     name = "process"
@@ -169,19 +191,25 @@ class ProcessBackend(ExecutionBackend):
             return 1
         return _auto_workers(n_scenarios, self.workers)
 
-    def run(self, scenarios, base_config=None, cache_dir=None):
+    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
         n_workers = self.effective_workers(len(scenarios))
         if n_workers <= 1:
-            return SerialBackend().run(scenarios, base_config, cache_dir)
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(
-                pool.map(
-                    execute_scenario,
-                    scenarios,
-                    [base_config] * len(scenarios),
-                    [cache_dir] * len(scenarios),
-                )
+            return SerialBackend().run(
+                scenarios, base_config, cache_dir, on_outcome
             )
+        outcomes: list["ScenarioOutcome | None"] = [None] * len(scenarios)
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(execute_scenario, scenario, base_config, cache_dir): i
+                for i, scenario in enumerate(scenarios)
+            }
+            for fut in as_completed(futures):
+                index = futures[fut]
+                outcome = fut.result()  # fail-fast: a raise aborts the sweep
+                if on_outcome is not None:
+                    on_outcome(index, outcome)
+                outcomes[index] = outcome
+        return outcomes
 
 
 @dataclass(repr=False)
@@ -196,6 +224,9 @@ class ShardedBackend(ExecutionBackend):
 
     ``shard_size`` fixes the scenarios-per-shard (default:
     ``ceil(n / workers)``, i.e. exactly one shard per worker).
+    Streaming callbacks fire with per-shard granularity: a shard's
+    outcomes are delivered (per scenario, in shard order) when the
+    shard's task completes.
     """
 
     name = "sharded"
@@ -207,25 +238,28 @@ class ShardedBackend(ExecutionBackend):
             return 1
         return _auto_workers(n_scenarios, self.workers)
 
-    def run(self, scenarios, base_config=None, cache_dir=None):
+    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
         n = len(scenarios)
         n_workers = self.effective_workers(n)
         shards = make_shards(scenarios, n_workers, self.shard_size)
+        pairs = []
         if n_workers <= 1 or len(shards) <= 1:
-            pairs = [
-                pair
-                for shard in shards
-                for pair in execute_shard(shard, base_config, cache_dir)
-            ]
+            for shard in shards:
+                for pair in execute_shard(shard, base_config, cache_dir):
+                    if on_outcome is not None:
+                        on_outcome(*pair)
+                    pairs.append(pair)
         else:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = [
                     pool.submit(execute_shard, shard, base_config, cache_dir)
                     for shard in shards
                 ]
-                pairs = [
-                    pair for fut in as_completed(futures) for pair in fut.result()
-                ]
+                for fut in as_completed(futures):
+                    for pair in fut.result():
+                        if on_outcome is not None:
+                            on_outcome(*pair)
+                        pairs.append(pair)
         outcomes: list["ScenarioOutcome | None"] = [None] * n
         for index, outcome in pairs:
             outcomes[index] = outcome

@@ -134,13 +134,25 @@ def config_fingerprint(config: PlannerConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def combine_fingerprints(dataset_fp: str, config_fp: str) -> str:
+    """The artifact key for an already-fingerprinted ``(dataset, config)``.
+
+    Split out of :func:`cache_key` so callers that memoize fingerprints
+    (e.g. the stream layer keying many scenarios against one dataset)
+    can derive keys without re-hashing the dataset arrays.
+    """
+    h = hashlib.sha256()
+    h.update(dataset_fp.encode())
+    h.update(b"|")
+    h.update(config_fp.encode())
+    return h.hexdigest()[:KEY_LENGTH]
+
+
 def cache_key(dataset: Dataset, config: PlannerConfig) -> str:
     """The artifact key for ``(dataset, config)``."""
-    h = hashlib.sha256()
-    h.update(dataset_fingerprint(dataset).encode())
-    h.update(b"|")
-    h.update(config_fingerprint(config).encode())
-    return h.hexdigest()[:KEY_LENGTH]
+    return combine_fingerprints(
+        dataset_fingerprint(dataset), config_fingerprint(config)
+    )
 
 
 class PrecomputationCache:

@@ -1,4 +1,4 @@
-"""Structured sweep results: machine-readable JSON for downstream tooling.
+"""Structured sweep results: JSON documents and streaming JSONL.
 
 :class:`SweepReport` turns a list of
 :class:`~repro.sweep.runner.ScenarioOutcome` into a stable, fully
@@ -8,15 +8,43 @@ sweep-level metadata (backend, worker count, cache totals). The CLI's
 ``repro sweep --json out.json`` / ``--format json`` and the benchmark
 suite's JSON exports both render through here, so the schema only has
 to be kept stable in one place.
+
+:class:`StreamWriter` is the incremental sibling: an append-only JSONL
+stream with one flushed line per scenario *as it finishes* (``repro
+sweep --stream out.jsonl``), a terminal ``summary`` record carrying the
+same header fields as :class:`SweepReport`, and a reader
+(:func:`read_stream`) that tolerates the torn final line an interrupted
+run leaves behind. Both formats share :data:`SCHEMA_VERSION` — exported
+from :mod:`repro.sweep` — so downstream consumers check compatibility
+against one constant. Stream records additionally carry the
+``(key, cache_key)`` pair — scenario identity and precompute-artifact
+identity — which is what :meth:`repro.sweep.SweepRunner.run_stream`
+matches on to make interrupted sweeps resumable.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sys
 from dataclasses import dataclass, field
 
+from repro.sweep.scenario import constraints_record as _constraints_record
+from repro.utils.errors import DataError
+
 SCHEMA_VERSION = 1
-"""Bump on backwards-incompatible changes to the report layout."""
+"""Bump on backwards-incompatible changes to the report/stream layout.
+
+Shared by :class:`SweepReport` documents and :class:`StreamWriter`
+records (the single source of truth; re-exported as
+``repro.sweep.SCHEMA_VERSION``).
+"""
+
+RECORD_SCENARIO = "scenario"
+RECORD_SUMMARY = "summary"
+
+_STREAM_ENVELOPE = ("record", "schema", "key", "cache_key")
+"""Stream-only fields wrapped around a plain :func:`scenario_record`."""
 
 
 def _result_record(result) -> dict:
@@ -29,16 +57,6 @@ def _result_record(result) -> dict:
         record["length_km"] = round(float(route.length_km), 6)
         record["turns"] = int(route.turns)
     return record
-
-
-def _constraints_record(constraints) -> "dict | None":
-    if constraints is None:
-        return None
-    return {
-        "anchor_stop": constraints.anchor_stop,
-        "forbid_stops": sorted(constraints.forbid_stops),
-        "forbid_edges": sorted(constraints.forbid_edges),
-    }
 
 
 def scenario_record(outcome) -> dict:
@@ -67,6 +85,22 @@ def scenario_record(outcome) -> dict:
     }
 
 
+def _cache_block(cache_dir, hits: int, misses: int) -> "dict | None":
+    """The report's cache section: sweep hit/miss counts + disk totals."""
+    if not cache_dir:
+        return None
+    from repro.sweep.cache import PrecomputationCache
+
+    store = PrecomputationCache(cache_dir)
+    return {
+        "dir": str(cache_dir),
+        "hits": hits,
+        "misses": misses,
+        "entries": store.n_entries,
+        "total_bytes": store.total_bytes,
+    }
+
+
 @dataclass
 class SweepReport:
     """A serialized sweep: per-scenario records + sweep-level metadata."""
@@ -89,23 +123,44 @@ class SweepReport:
         ``cache_dir`` (when caching was on) adds hit/miss counts from the
         outcomes plus the directory's current entry count and byte size.
         """
-        cache = None
-        if cache_dir:
-            from repro.sweep.cache import PrecomputationCache
-
-            store = PrecomputationCache(cache_dir)
-            cache = {
-                "dir": str(cache_dir),
-                "hits": sum(1 for o in outcomes if o.cache_hit is True),
-                "misses": sum(1 for o in outcomes if o.cache_hit is False),
-                "entries": store.n_entries,
-                "total_bytes": store.total_bytes,
-            }
+        cache = _cache_block(
+            cache_dir,
+            hits=sum(1 for o in outcomes if o.cache_hit is True),
+            misses=sum(1 for o in outcomes if o.cache_hit is False),
+        )
         return cls(
             scenarios=[scenario_record(o) for o in outcomes],
             backend=backend,
             workers=workers,
             cache=cache,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+        cache_dir: "str | None" = None,
+    ) -> "SweepReport":
+        """Build a report from stream scenario records (see :func:`read_stream`).
+
+        The stream envelope fields (``record``/``schema``/``key``/
+        ``cache_key``) are stripped, so the resulting document is
+        schema-identical to one built by :meth:`from_outcomes` — this is
+        how a resumed ``--stream`` sweep still serves ``--json``.
+        """
+        scenarios = [
+            {k: v for k, v in rec.items() if k not in _STREAM_ENVELOPE}
+            for rec in records
+        ]
+        cache = _cache_block(
+            cache_dir,
+            hits=sum(1 for r in records if r.get("cache_hit") is True),
+            misses=sum(1 for r in records if r.get("cache_hit") is False),
+        )
+        return cls(
+            scenarios=scenarios, backend=backend, workers=workers, cache=cache
         )
 
     # ------------------------------------------------------------------
@@ -132,3 +187,172 @@ class SweepReport:
         """Write the JSON document to ``path`` (trailing newline included)."""
         with open(path, "w") as f:
             f.write(self.to_json() + "\n")
+
+
+# ----------------------------------------------------------------------
+# Streaming results: JSONL, one flushed record per scenario
+# ----------------------------------------------------------------------
+def stream_scenario_record(
+    outcome, key: "str | None" = None, cache_key: "str | None" = None
+) -> dict:
+    """A :func:`scenario_record` wrapped in the stream envelope.
+
+    ``key`` is the :func:`~repro.sweep.scenario.scenario_key` this
+    record commits; ``cache_key`` the content-addressed precompute key.
+    Resume matches on both, so a record survives renames but not config
+    or dataset-content changes.
+    """
+    return {
+        "record": RECORD_SCENARIO,
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "cache_key": cache_key,
+        **scenario_record(outcome),
+    }
+
+
+def summary_record(
+    records,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    cache_dir: "str | None" = None,
+    n_replayed: int = 0,
+) -> dict:
+    """The stream's terminal record: the :class:`SweepReport` header.
+
+    Carries the same fields as :meth:`SweepReport.to_dict` minus the
+    per-scenario list (those are the preceding lines), plus
+    ``n_replayed`` — how many records a resumed run took over from the
+    prior stream instead of re-executing.
+    """
+    doc = SweepReport.from_records(
+        records, backend=backend, workers=workers, cache_dir=cache_dir
+    ).to_dict()
+    doc.pop("scenarios")
+    return {"record": RECORD_SUMMARY, "n_replayed": int(n_replayed), **doc}
+
+
+class StreamWriter:
+    """Append-only JSONL sweep stream; every record is flushed on write.
+
+    One line per record: ``scenario`` records as scenarios finish, then
+    one terminal ``summary`` record. ``path="-"`` streams to stdout.
+    ``resume_at`` (a byte offset from :attr:`StreamRecords.valid_bytes`)
+    reopens an existing file, truncates the torn tail an interrupted run
+    may have left, and appends — the committed prefix is never
+    rewritten. Because each line is written and flushed atomically from
+    the parent process, a reader (or a crash) mid-run observes a valid
+    JSONL prefix, which is exactly what :func:`read_stream` consumes.
+    """
+
+    def __init__(self, path: str, resume_at: "int | None" = None):
+        self.path = str(path)
+        self.n_written = 0
+        if self.path == "-":
+            self._fh = sys.stdout
+            self._owns = False
+        elif resume_at is not None:
+            self._fh = open(self.path, "r+")
+            self._fh.seek(resume_at)
+            self._fh.truncate()
+            self._owns = True
+        else:
+            self._fh = open(self.path, "w")
+            self._owns = True
+
+    # ------------------------------------------------------------------
+    def write_record(self, record: dict) -> dict:
+        """Serialize ``record`` as one line and flush it; returns it."""
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        self.n_written += 1
+        return record
+
+    def write_scenario(
+        self, outcome, key: "str | None" = None, cache_key: "str | None" = None
+    ) -> dict:
+        return self.write_record(stream_scenario_record(outcome, key, cache_key))
+
+    def write_summary(self, records, **kwargs) -> dict:
+        return self.write_record(summary_record(records, **kwargs))
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class StreamRecords:
+    """Parsed contents of a sweep stream file (see :func:`read_stream`)."""
+
+    scenarios: list = field(default_factory=list)
+    """Scenario records in file order (duplicates from resumes kept)."""
+    summary: "dict | None" = None
+    """The last ``summary`` record, or ``None`` for an interrupted run."""
+    truncated: bool = False
+    """Whether a torn (unparseable) final line was dropped."""
+    valid_bytes: int = 0
+    """Byte offset after the last complete record — resume appends here."""
+
+    @property
+    def committed(self) -> dict:
+        """``key -> record`` for keyed scenario records (last one wins)."""
+        return {
+            rec["key"]: rec
+            for rec in self.scenarios
+            if rec.get("key") is not None
+        }
+
+
+def read_stream(path: str) -> StreamRecords:
+    """Parse a sweep stream file, tolerating an interrupted tail.
+
+    Commit rule: only newline-terminated lines are committed (the
+    writer flushes each record and its newline together). An
+    unterminated tail is the signature of a killed run: it is dropped
+    (``truncated=True``) and excluded from ``valid_bytes``, so a resume
+    overwrites it in place. A *terminated* line that is not valid JSON,
+    or a scenario record whose ``schema`` does not match
+    :data:`SCHEMA_VERSION`, raises :class:`DataError` — those are
+    corruption or incompatibility, not interruption. Record kinds other
+    than ``scenario``/``summary`` are skipped for forward compatibility.
+    """
+    if not os.path.exists(path):
+        raise DataError(f"stream file not found: {path!r}")
+    with open(path, "rb") as f:
+        raw = f.read()
+    out = StreamRecords()
+    committed_end = raw.rfind(b"\n") + 1
+    out.truncated = committed_end < len(raw)
+    out.valid_bytes = committed_end
+    # Every element below ended in "\n" (split drops the empty tail).
+    for lineno, line in enumerate(raw[:committed_end].split(b"\n")[:-1]):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DataError(
+                f"stream file {path!r} line {lineno + 1} is not a JSON "
+                f"record: {exc}"
+            ) from None
+        kind = record.get("record")
+        if kind == RECORD_SCENARIO:
+            schema = record.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise DataError(
+                    f"stream file {path!r} line {lineno + 1} has schema "
+                    f"{schema!r}; this build reads schema {SCHEMA_VERSION}"
+                )
+            out.scenarios.append(record)
+        elif kind == RECORD_SUMMARY:
+            out.summary = record
+    return out

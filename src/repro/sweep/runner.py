@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import os
 from dataclasses import dataclass, field
 
 from repro.core.config import PlannerConfig
@@ -30,8 +31,13 @@ from repro.core.planner import CTBusPlanner, run_method
 from repro.core.precompute import Precomputation, rebind
 from repro.core.result import PlanResult
 from repro.data.datasets import canned_city
-from repro.sweep.cache import PrecomputationCache
-from repro.sweep.scenario import Scenario
+from repro.sweep.cache import (
+    PrecomputationCache,
+    combine_fingerprints,
+    config_fingerprint,
+    dataset_fingerprint,
+)
+from repro.sweep.scenario import Scenario, scenario_key
 from repro.utils.errors import PlanningError
 from repro.utils.tables import format_table
 from repro.utils.timing import Timer
@@ -81,10 +87,57 @@ class ScenarioOutcome:
         return self.results[0] if self.results else None
 
 
+@dataclass
+class StreamRun:
+    """What :meth:`SweepRunner.run_stream` produced.
+
+    ``records`` holds the final stream record per scenario in input
+    order — freshly written or replayed from a prior stream file.
+    ``outcomes`` is the parallel list of live :class:`ScenarioOutcome`
+    objects; replayed entries are ``None`` (their results exist only as
+    records).
+    """
+
+    records: list
+    outcomes: list
+    summary: dict
+    n_replayed: int = 0
+    path: str = ""
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if r is not None and not r["ok"])
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.records)
+
+
 @functools.lru_cache(maxsize=8)
 def _worker_dataset(city: str, profile: str):
     """Per-process dataset cache: scenarios sharing a city build it once."""
     return canned_city(city, profile)
+
+
+@functools.lru_cache(maxsize=8)
+def _canned_dataset_fingerprint(city: str, profile: str) -> str:
+    """Memoized content hash of a canned dataset (deterministic builds)."""
+    return dataset_fingerprint(_worker_dataset(city, profile))
+
+
+def scenario_cache_key(
+    scenario: Scenario, base_config: "PlannerConfig | None" = None
+) -> str:
+    """The precompute-artifact key this scenario's worker will use.
+
+    Identical to ``PrecomputationCache.key_for(dataset, config)`` but
+    with the dataset fingerprint memoized per ``(city, profile)``, so
+    keying a whole grid hashes each dataset's arrays once.
+    """
+    return combine_fingerprints(
+        _canned_dataset_fingerprint(scenario.city, scenario.profile),
+        config_fingerprint(scenario.planner_config(base_config)),
+    )
 
 
 def execute_scenario(
@@ -234,13 +287,25 @@ class SweepRunner:
                 computed.add(i)
         return computed
 
-    def run(self, scenarios) -> list[ScenarioOutcome]:
+    def run(self, scenarios, on_outcome=None) -> list[ScenarioOutcome]:
         """Execute every scenario; outcomes keep the input order.
+
+        ``on_outcome(index, outcome)`` — the streaming event channel —
+        is invoked in-process as each scenario completes (see the
+        :mod:`backend contract <repro.sweep.backends>` for ordering and
+        granularity); the prewarm cache-hit correction below is applied
+        *before* the callback fires, so streamed records match the
+        returned outcomes exactly.
 
         ``self.last_worker_count`` records how many workers the backend
         actually used (1 whenever a serial in-process path was taken).
         """
-        resolved = self.resolve(scenarios)
+        return self._run_resolved(self.resolve(scenarios), on_outcome)
+
+    def _run_resolved(self, resolved, on_outcome=None) -> list[ScenarioOutcome]:
+        """:meth:`run` minus resolution, for callers that already resolved
+        (and keyed) the scenarios — resolution must happen exactly once so
+        stream-record keys always describe what actually executed."""
         if not resolved:
             self.last_worker_count = 0
             return []
@@ -252,13 +317,122 @@ class SweepRunner:
             if self.cache_dir and n_workers > 1
             else set()
         )
-        outcomes = backend.run(resolved, self.base_config, self.cache_dir)
-        for i in prewarmed:
+
+        def _correct(index: int, outcome: ScenarioOutcome) -> ScenarioOutcome:
             # The worker saw a warm entry only because the parent just
             # computed it; report the scenario as the miss it was.
-            if outcomes[i].ok:
-                outcomes[i].cache_hit = False
+            if index in prewarmed and outcome.ok:
+                outcome.cache_hit = False
+            return outcome
+
+        callback = None
+        if on_outcome is not None:
+            callback = lambda i, o: on_outcome(i, _correct(i, o))  # noqa: E731
+        outcomes = backend.run(
+            resolved, self.base_config, self.cache_dir, callback
+        )
+        for i in prewarmed:
+            _correct(i, outcomes[i])
         return outcomes
+
+    def run_stream(
+        self,
+        scenarios,
+        path: str,
+        resume: bool = False,
+        retry_failures: bool = False,
+        announce=None,
+        on_record=None,
+    ) -> "StreamRun":
+        """Execute a grid while streaming JSONL records to ``path``.
+
+        One flushed line per scenario as it finishes (via
+        :class:`~repro.sweep.report.StreamWriter`), then a terminal
+        ``summary`` record. ``path="-"`` streams to stdout.
+
+        With ``resume=True`` an existing stream file at ``path`` is
+        loaded first and every scenario whose ``(scenario-key,
+        cache-key)`` pair matches a committed record is *replayed* —
+        skipped, with the prior record standing in for the outcome —
+        so an interrupted sweep continues from where it died instead of
+        starting over. Failed records are replayed too (their failure is
+        a committed result) unless ``retry_failures=True``, which
+        re-runs exactly the failures. A torn final line from the
+        interruption is truncated before appending; the committed
+        prefix is never rewritten. Resuming a path with no file yet is
+        simply a fresh run, so one command line can be re-issued until
+        it exits clean.
+
+        ``announce(n_total, n_replayed)`` fires once before execution;
+        ``on_record(index, record)`` after each fresh record is
+        committed (the live-progress hooks). Fail-fast backend errors
+        propagate — the stream file keeps its valid prefix, which is
+        exactly what the next ``resume`` consumes.
+        """
+        from repro.sweep.report import StreamWriter, read_stream
+
+        resolved = self.resolve(scenarios)
+        keys = [scenario_key(s, self.base_config) for s in resolved]
+        cache_keys = [scenario_cache_key(s, self.base_config) for s in resolved]
+        backend_name = self._resolve_backend().name
+
+        replay: dict[int, dict] = {}
+        resume_at = None
+        if resume:
+            if str(path) == "-":
+                raise PlanningError("cannot resume a stream written to stdout")
+            if os.path.exists(path):
+                existing = read_stream(path)
+                committed = existing.committed
+                for i, key in enumerate(keys):
+                    record = committed.get(key)
+                    if record is None or record.get("cache_key") != cache_keys[i]:
+                        continue
+                    if retry_failures and not record["ok"]:
+                        continue
+                    replay[i] = record
+                resume_at = existing.valid_bytes
+
+        pending = [i for i in range(len(resolved)) if i not in replay]
+        records: list["dict | None"] = [replay.get(i) for i in range(len(resolved))]
+        outcomes: list["ScenarioOutcome | None"] = [None] * len(resolved)
+        if announce is not None:
+            announce(len(resolved), len(replay))
+
+        writer = StreamWriter(str(path), resume_at=resume_at)
+        try:
+            if pending:
+
+                def _emit(j: int, outcome: ScenarioOutcome) -> None:
+                    i = pending[j]
+                    outcomes[i] = outcome
+                    records[i] = writer.write_scenario(
+                        outcome, key=keys[i], cache_key=cache_keys[i]
+                    )
+                    if on_record is not None:
+                        on_record(i, records[i])
+
+                self._run_resolved(
+                    [resolved[i] for i in pending], on_outcome=_emit
+                )
+            else:
+                self.last_worker_count = 0
+            summary = writer.write_summary(
+                [r for r in records if r is not None],
+                backend=backend_name,
+                workers=self.last_worker_count,
+                cache_dir=self.cache_dir,
+                n_replayed=len(replay),
+            )
+        finally:
+            writer.close()
+        return StreamRun(
+            records=records,
+            outcomes=outcomes,
+            summary=summary,
+            n_replayed=len(replay),
+            path=str(path),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -7,15 +7,21 @@ field overrides, optional :class:`PlanningConstraints`, and a
 :func:`expand_grid` (cartesian product over named axes) or
 :func:`load_grid` (a YAML/JSON file with ``base`` / ``axes`` /
 ``scenarios`` sections).
+
+:func:`scenario_key` gives a resolved scenario a stable 32-hex identity
+(spec + fully-resolved config) — the unit of committed work in stream
+files, which is what makes sweeps resumable (see
+:meth:`repro.sweep.SweepRunner.run_stream`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import os
 from collections.abc import Mapping
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.core.config import PlannerConfig
 from repro.core.constraints import PlanningConstraints
@@ -109,6 +115,50 @@ class Scenario:
         if self.seed is not None or "seed" in self.override_dict:
             return self
         return replace(self, seed=int(seed))
+
+
+def constraints_record(constraints: "PlanningConstraints | None") -> "dict | None":
+    """Canonical JSON-safe form of planning constraints (``None`` passes)."""
+    if constraints is None:
+        return None
+    return {
+        "anchor_stop": constraints.anchor_stop,
+        "forbid_stops": sorted(constraints.forbid_stops),
+        "forbid_edges": sorted(constraints.forbid_edges),
+    }
+
+
+SCENARIO_KEY_LENGTH = 32
+"""Hex characters kept from the scenario-key sha256 digest (128 bits)."""
+
+
+def scenario_key(
+    scenario: Scenario, base_config: "PlannerConfig | None" = None
+) -> str:
+    """Stable 32-hex identity of a *resolved* scenario within a sweep.
+
+    The key hashes everything that determines the scenario's plan
+    results: the dataset spec (``city``/``profile`` names), ``method``,
+    ``route_count``, constraints, and the **fully-resolved**
+    :class:`PlannerConfig` (base config + overrides + seed) — so the
+    same scenario re-declared against a different base config gets a
+    different key. The scenario ``name`` is deliberately excluded:
+    renaming a grid point must not invalidate its committed stream
+    record. Used as the commit unit for resumable stream files,
+    alongside the content-addressed precompute ``cache_key`` which
+    additionally guards against dataset *content* drift.
+    """
+    config = scenario.planner_config(base_config)
+    spec = {
+        "city": scenario.city,
+        "profile": scenario.profile,
+        "method": scenario.method,
+        "route_count": scenario.route_count,
+        "constraints": constraints_record(scenario.constraints),
+        "config": asdict(config),
+    }
+    blob = json.dumps(spec, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:SCENARIO_KEY_LENGTH]
 
 
 # ----------------------------------------------------------------------

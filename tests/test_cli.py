@@ -259,6 +259,95 @@ class TestSweepCommand:
         assert "method=eta-pre" in capsys.readouterr().out
 
 
+class TestStreamFlags:
+    """Streaming CLI: JSONL per scenario, resume, flag validation."""
+
+    def _args(self, tmp_path, extra=()):
+        return [
+            "sweep", "--city", "chicago", "--profile", "tiny",
+            "--methods", "eta-pre", "--weights", "0.4,0.6",
+            "--k", "6", "--iterations", "120", "--seed-count", "80",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+            *extra,
+        ]
+
+    def test_stream_to_file(self, tmp_path, capsys):
+        stream = tmp_path / "out.jsonl"
+        assert main(self._args(tmp_path, ["--stream", str(stream)])) == 0
+        captured = capsys.readouterr()
+        assert "-> " + str(stream) in captured.out
+        assert "[1/2]" in captured.err and "[2/2]" in captured.err
+        lines = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert len(lines) == 3  # 2 scenarios + summary
+        assert [l["record"] for l in lines] == ["scenario", "scenario", "summary"]
+        assert lines[-1]["n_ok"] == 2
+
+    def test_stream_to_stdout_is_pure_jsonl(self, tmp_path, capsys):
+        assert main(self._args(tmp_path, ["--stream", "-"])) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert records[-1]["record"] == "summary"
+
+    def test_resume_completes_and_is_idempotent(self, tmp_path, capsys):
+        stream = tmp_path / "out.jsonl"
+        assert main(self._args(tmp_path, ["--stream", str(stream)])) == 0
+        capsys.readouterr()
+        assert main(self._args(
+            tmp_path, ["--stream", str(stream), "--resume"]
+        )) == 0
+        captured = capsys.readouterr()
+        assert "resume: 2 of 2 scenarios already committed" in captured.err
+        assert "(2 replayed)" in captured.out
+
+    def test_stream_with_json_report(self, tmp_path, capsys):
+        stream, report = tmp_path / "out.jsonl", tmp_path / "report.json"
+        assert main(self._args(
+            tmp_path, ["--stream", str(stream), "--json", str(report)]
+        )) == 0
+        doc = json.loads(report.read_text())
+        assert doc["n_scenarios"] == 2
+        # The report is envelope-free: same schema as a non-streamed run.
+        assert "key" not in doc["scenarios"][0]
+        assert "record" not in doc["scenarios"][0]
+
+    def test_stream_failure_exit_code(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {"city": "chicago", "profile": "tiny",
+                     "config": {"k": 6, "max_iterations": 120,
+                                "seed_count": 80}},
+            "axes": {"w": [0.4]},
+            "scenarios": [
+                {"name": "doomed", "constraints": {"anchor_stop": 999999}},
+            ],
+        }))
+        stream = tmp_path / "out.jsonl"
+        assert main([
+            "sweep", "--grid", str(grid), "--backend", "sharded",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1",
+            "--stream", str(stream),
+        ]) == 1
+        assert "FAILED doomed" in capsys.readouterr().err
+
+    def test_flag_validation_exits_2(self, tmp_path, capsys):
+        cases = [
+            (["--resume"], "--resume requires --stream"),
+            (["--stream", "-", "--resume"], "not '-'"),
+            (["--retry-failures"], "--retry-failures requires --resume"),
+            (["--stream", "-", "--format", "json"], "claim stdout"),
+        ]
+        for extra, message in cases:
+            assert main(self._args(tmp_path, extra)) == 2
+            assert message in capsys.readouterr().err
+
+    def test_unwritable_stream_path_exits_2(self, tmp_path, capsys):
+        assert main(self._args(
+            tmp_path,
+            ["--stream", str(tmp_path / "no" / "such" / "dir" / "o.jsonl")],
+        )) == 2
+        assert "cannot write stream file" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def _sweep(self, tmp_path, extra=()):
         return main([

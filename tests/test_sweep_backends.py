@@ -248,3 +248,52 @@ class TestFailureIsolation:
         assert out.error == "ValueError: boom"
         assert out.results == () and out.result is None
         assert not out.ok
+
+
+class TestStreamingCallbacks:
+    """The on_outcome event channel: every index fires exactly once, in
+    the parent process, with the same object the result list returns."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_each_index_fires_once_with_returned_outcome(
+        self, backend, grid_scenarios, tmp_path
+    ):
+        events = []
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=str(tmp_path), workers=2,
+            backend=backend,
+        )
+        outcomes = runner.run(
+            grid_scenarios, on_outcome=lambda i, o: events.append((i, o))
+        )
+        assert sorted(i for i, _ in events) == list(range(len(grid_scenarios)))
+        for index, outcome in events:
+            assert outcome is outcomes[index]
+
+    def test_serial_callbacks_in_input_order(self, grid_scenarios, tmp_path):
+        order = []
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=str(tmp_path), backend="serial"
+        )
+        runner.run(grid_scenarios, on_outcome=lambda i, o: order.append(i))
+        assert order == list(range(len(grid_scenarios)))
+
+    def test_prewarm_correction_applied_before_callback(
+        self, grid_scenarios, tmp_path
+    ):
+        """Streamed cache_hit flags must match the returned outcomes:
+        the parent's prewarm miss is re-attributed before the event."""
+        streamed = {}
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=str(tmp_path), workers=2,
+            backend="process",
+        )
+        outcomes = runner.run(
+            grid_scenarios,
+            on_outcome=lambda i, o: streamed.update({i: o.cache_hit}),
+        )
+        assert [streamed[i] for i in range(len(outcomes))] == [
+            o.cache_hit for o in outcomes
+        ]
+        # The cold cache means at least one scenario really missed.
+        assert False in streamed.values()
