@@ -11,6 +11,8 @@ Commands
              ``--resume`` / ``--retry-failures``).
 ``cache``    inspect and bound the precomputation cache
              (``stats`` / ``evict`` / ``clear``).
+``worker``   remote sweep worker daemon: ``worker serve --port N``
+             accepts sweep jobs over TCP for ``--backend remote``.
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
 
@@ -27,6 +29,9 @@ Examples::
     python -m repro sweep --city chicago --profile tiny --json -
     python -m repro sweep --grid grid.yaml --stream out.jsonl
     python -m repro sweep --grid grid.yaml --stream out.jsonl --resume
+    python -m repro worker serve --port 7401 --cache-dir .worker-cache
+    python -m repro sweep --grid grid.yaml --backend remote \\
+        --workers-at 127.0.0.1:7401,127.0.0.1:7402 --stream out.jsonl
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache evict --max-entries 8 --max-bytes 50000000
     python -m repro removal --city nyc --profile small
@@ -56,9 +61,12 @@ CITY_CHOICES = CITY_NAMES
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-BACKEND_CHOICES = ("serial", "process", "sharded")
+BACKEND_CHOICES = ("serial", "process", "sharded", "remote")
 """Mirrors :data:`repro.sweep.backends.BACKEND_NAMES` (kept literal so
 parser construction does not import the sweep package)."""
+
+DEFAULT_WORKER_PORT = 7400
+"""Default TCP port for ``repro worker serve``."""
 
 
 def _add_city_args(parser: argparse.ArgumentParser) -> None:
@@ -216,12 +224,26 @@ def _cmd_sweep(args) -> int:
     )
 
     flag_error = _check_stream_flags(args)
+    if not flag_error and args.backend == "remote" and (
+        args.cache_max_bytes is not None
+    ):
+        # No resolve_backend twin for this one: --cache-max-bytes never
+        # reaches the library; it evicts the *local* directory, which a
+        # remote sweep does not use.
+        flag_error = (
+            "--cache-max-bytes bounds the local cache directory, which "
+            "--backend remote does not use; run 'repro cache evict' on "
+            "the worker hosts instead"
+        )
     if flag_error:
         print(f"error: {flag_error}", file=sys.stderr)
         return 2
     cache_dir = None if args.no_cache else args.cache_dir
     stream_run = None
     try:
+        # Backend/worker/address combinations are validated by
+        # resolve_backend (one source of truth); its PlanningError is
+        # caught below and exits 2 like every other usage error.
         scenarios, base = _sweep_scenarios(args)
         runner = SweepRunner(
             base_config=base,
@@ -229,6 +251,7 @@ def _cmd_sweep(args) -> int:
             workers=args.workers,
             base_seed=args.seed,
             backend=args.backend,
+            addresses=args.workers_at or None,
         )
         if args.stream:
             try:
@@ -248,20 +271,24 @@ def _cmd_sweep(args) -> int:
     # `--json -` and `--format json` both claim stdout for the JSON
     # document, so the table is suppressed to keep it machine-parseable.
     json_to_stdout = args.json == "-" or args.format == "json"
+    # Reports only describe the parent's cache directory when the
+    # backend's workers actually used it (remote daemons keep their
+    # own stores; their per-record cache_hit flags still apply).
+    report_cache_dir = runner.report_cache_dir()
     if args.json or json_to_stdout:
         if stream_run is not None:
             report = SweepReport.from_records(
                 records,
                 backend=args.backend,
                 workers=runner.last_worker_count,
-                cache_dir=cache_dir,
+                cache_dir=report_cache_dir,
             )
         else:
             report = SweepReport.from_outcomes(
                 outcomes,
                 backend=args.backend,
                 workers=runner.last_worker_count,
-                cache_dir=cache_dir,
+                cache_dir=report_cache_dir,
             )
     if args.json and args.json != "-":
         try:
@@ -298,7 +325,15 @@ def _cmd_sweep(args) -> int:
             ),
         ))
         print()
-        print(cache_summary(outcomes, cache_dir))
+        if args.backend == "remote":
+            hits = sum(1 for o in outcomes if o.cache_hit is True)
+            misses = sum(1 for o in outcomes if o.cache_hit is False)
+            print(
+                f"precomputation cache: worker-side ({hits} hits, "
+                f"{misses} misses against the daemons' own stores)"
+            )
+        else:
+            print(cache_summary(outcomes, report_cache_dir))
     if stream_run is not None:
         failures = "\n".join(
             f"FAILED {r['name']}: {r['error']}" for r in records if not r["ok"]
@@ -361,6 +396,33 @@ def _cmd_cache(args) -> int:
     # clear
     removed = cache.clear()
     print(f"removed {removed} entries from {cache.directory}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.sweep.remote import serve_worker
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        server = serve_worker(
+            host=args.host, port=args.port, cache_dir=cache_dir
+        )
+    except PlanningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The "listening" line is the readiness signal wrappers (and the CI
+    # smoke) wait for; the resolved port matters when --port 0 was used.
+    print(
+        f"worker listening on {server.host}:{server.port} "
+        f"(cache: {cache_dir or 'disabled'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -469,8 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--backend", choices=BACKEND_CHOICES,
                          default="process",
                          help="execution backend: serial (in-process), "
-                              "process (one task per scenario), or sharded "
-                              "(per-worker shards with failure isolation)")
+                              "process (one task per scenario), sharded "
+                              "(per-worker shards with failure isolation), "
+                              "or remote (TCP worker daemons; needs "
+                              "--workers-at)")
+    p_sweep.add_argument("--workers-at", default="",
+                         metavar="HOST:PORT,...",
+                         help="remote worker daemon addresses for "
+                              "--backend remote (see 'repro worker serve')")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="sweep-wide seed (default: the base config's)")
     p_sweep.add_argument("--json", default="", metavar="PATH",
@@ -521,6 +589,26 @@ def build_parser() -> argparse.ArgumentParser:
         pc.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help="precomputation cache directory")
         pc.set_defaults(func=_cmd_cache)
+
+    p_worker = sub.add_parser(
+        "worker", help="remote sweep worker daemon (see --backend remote)"
+    )
+    worker_sub = p_worker.add_subparsers(dest="worker_command", required=True)
+    p_worker_serve = worker_sub.add_parser(
+        "serve", help="accept sweep jobs over TCP until interrupted"
+    )
+    p_worker_serve.add_argument("--host", default="127.0.0.1",
+                                help="interface to bind")
+    p_worker_serve.add_argument("--port", type=int,
+                                default=DEFAULT_WORKER_PORT,
+                                help="TCP port (0 picks an ephemeral port; "
+                                     "the resolved port is printed)")
+    p_worker_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                                help="this worker's precomputation cache "
+                                     "directory")
+    p_worker_serve.add_argument("--no-cache", action="store_true",
+                                help="disable the precomputation cache")
+    p_worker_serve.set_defaults(func=_cmd_worker)
 
     p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
     _add_city_args(p_removal)

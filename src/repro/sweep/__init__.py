@@ -16,16 +16,25 @@ Execution strategy is pluggable (``SweepRunner(backend=...)``, CLI
 ``run(scenarios, base_config, cache_dir)`` returning one
 :class:`ScenarioOutcome` per scenario in input order; every backend
 plans through :func:`execute_scenario`, so results are bit-identical
-across backends (the oracle contract). Three ship today:
+across backends (the oracle contract). Four ship today:
 
 * ``serial`` — in-process loop; fail-fast; the reference semantics.
 * ``process`` — one task per scenario on a ``ProcessPoolExecutor``;
-  fail-fast (the PR 1 path, still the default).
+  fail-fast (the PR 1 path, still the default). A fail-fast abort
+  cancels still-queued scenarios (``cancel_futures``) instead of
+  letting them run to completion behind the caller's back.
 * ``sharded`` — the grid is chunked into per-worker shards (one task
   per shard amortizes dataset construction and pickling), submitted
   asynchronously, with per-scenario failure isolation: a raising
   scenario becomes a failure outcome (``outcome.error`` set) instead of
   killing the sweep.
+* ``remote`` — the same contract over TCP worker daemons
+  (``repro worker serve``): the grid is sharded across workers, outcome
+  frames stream back as scenarios finish (so ``--stream``/``--resume``
+  work unchanged), scenario failures are isolated worker-side, and a
+  worker that dies mid-shard has its unfinished scenarios rebalanced
+  onto the survivors. See :mod:`repro.sweep.remote` for the wire
+  protocol. CLI: ``--backend remote --workers-at host:port,...``.
 
 Structured results
 ------------------
@@ -145,19 +154,39 @@ from repro.sweep.report import (
     StreamRecords,
     StreamWriter,
     SweepReport,
+    outcome_from_wire_record,
+    outcome_wire_record,
     read_stream,
+    result_from_wire,
+    result_wire_record,
     scenario_record,
     stream_scenario_record,
     summary_record,
 )
-from repro.sweep.scenario import Scenario, expand_grid, load_grid, scenario_key
+from repro.sweep.scenario import (
+    Scenario,
+    expand_grid,
+    load_grid,
+    scenario_from_spec,
+    scenario_key,
+    scenario_spec,
+)
+from repro.sweep.remote import (
+    PROTOCOL_VERSION,
+    RemoteBackend,
+    WorkerServer,
+    parse_worker_addresses,
+    ping,
+)
 
 __all__ = [
     "BACKEND_NAMES",
     "CacheEntry",
     "ExecutionBackend",
+    "PROTOCOL_VERSION",
     "PrecomputationCache",
     "ProcessBackend",
+    "RemoteBackend",
     "SCHEMA_VERSION",
     "Scenario",
     "ScenarioOutcome",
@@ -168,6 +197,7 @@ __all__ = [
     "StreamWriter",
     "SweepReport",
     "SweepRunner",
+    "WorkerServer",
     "cache_key",
     "cache_summary",
     "combine_fingerprints",
@@ -180,12 +210,20 @@ __all__ = [
     "failures_summary",
     "load_grid",
     "make_shards",
+    "outcome_from_wire_record",
+    "outcome_wire_record",
     "outcomes_table",
+    "parse_worker_addresses",
+    "ping",
     "read_stream",
     "resolve_backend",
+    "result_from_wire",
+    "result_wire_record",
     "scenario_cache_key",
+    "scenario_from_spec",
     "scenario_key",
     "scenario_record",
+    "scenario_spec",
     "stream_scenario_record",
     "summary_record",
     "sweep_precomputation",

@@ -3,8 +3,9 @@
 :class:`SweepRunner` delegates scenario execution to a *backend*, so the
 strategy for distributing work is orthogonal to grid declaration, seed
 resolution, and cache prewarming (which stay in the runner). Three
-backends ship here; remote/distributed backends plug into the same
-contract later.
+in-process backends ship here; the ``remote`` backend (TCP workers on
+other machines, same contract) lives in :mod:`repro.sweep.remote` and
+is registered by name in :func:`resolve_backend`.
 
 Backend contract
 ----------------
@@ -72,9 +73,20 @@ from repro.utils.errors import PlanningError
 
 
 def _auto_workers(n_scenarios: int, workers: "int | None") -> int:
-    """Explicit worker count, else ``min(n_scenarios, cpu_count)``."""
+    """Explicit worker count, else ``min(n_scenarios, cpu_count)``.
+
+    An explicit non-positive count is a configuration error, not a
+    request for the serial path — raising here (rather than silently
+    clamping to 1) keeps ``--workers 0`` from masking a typo'd flag.
+    """
     if workers is not None:
-        return max(int(workers), 1)
+        workers = int(workers)
+        if workers < 1:
+            raise PlanningError(
+                f"worker count must be >= 1, got {workers} "
+                f"(omit it for min(#scenarios, cpu_count))"
+            )
+        return workers
     return max(min(n_scenarios, os.cpu_count() or 1), 1)
 
 
@@ -116,6 +128,13 @@ def make_shards(scenarios, n_shards: int, shard_size: "int | None" = None):
     dataset cache, then cut into contiguous chunks. ``shard_size``
     overrides the default ``ceil(n / n_shards)``.
     """
+    if shard_size is not None and int(shard_size) < 1:
+        raise PlanningError(
+            f"shard_size must be >= 1, got {shard_size} "
+            f"(omit it for ceil(#scenarios / #workers))"
+        )
+    if shard_size is None and int(n_shards) < 1:
+        raise PlanningError(f"shard count must be >= 1, got {n_shards}")
     indexed = sorted(
         enumerate(scenarios), key=lambda p: (p[1].city, p[1].profile, p[0])
     )
@@ -123,8 +142,8 @@ def make_shards(scenarios, n_shards: int, shard_size: "int | None" = None):
     if n == 0:
         return []
     if shard_size is None:
-        shard_size = -(-n // max(int(n_shards), 1))  # ceil division
-    shard_size = max(int(shard_size), 1)
+        shard_size = -(-n // int(n_shards))  # ceil division
+    shard_size = int(shard_size)
     return [indexed[i:i + shard_size] for i in range(0, n, shard_size)]
 
 
@@ -132,6 +151,14 @@ class ExecutionBackend:
     """Abstract base for sweep execution strategies (see module docs)."""
 
     name = "abstract"
+
+    uses_parent_cache = True
+    """Whether this backend's workers read the ``cache_dir`` passed to
+    :meth:`run` (true for every in-process backend). The runner only
+    prewarms the shared cache — and only re-attributes prewarm hits —
+    for backends that will actually consume it; remote workers keep
+    their own stores, so prewarming the parent's would just duplicate
+    the most expensive computation locally."""
 
     def effective_workers(self, n_scenarios: int) -> int:
         raise NotImplementedError
@@ -198,7 +225,8 @@ class ProcessBackend(ExecutionBackend):
                 scenarios, base_config, cache_dir, on_outcome
             )
         outcomes: list["ScenarioOutcome | None"] = [None] * len(scenarios)
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        try:
             futures = {
                 pool.submit(execute_scenario, scenario, base_config, cache_dir): i
                 for i, scenario in enumerate(scenarios)
@@ -209,6 +237,16 @@ class ProcessBackend(ExecutionBackend):
                 if on_outcome is not None:
                     on_outcome(index, outcome)
                 outcomes[index] = outcome
+        except BaseException:
+            # A fail-fast abort must not let already-queued scenarios run
+            # to completion behind the caller's back: cancel everything
+            # still pending, wait out the few tasks already executing,
+            # and only then propagate. (A stream transported through
+            # ``on_outcome`` is left summary-less — exactly the prefix
+            # ``read_stream``/``--resume`` are specified to consume.)
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
         return outcomes
 
 
@@ -250,7 +288,8 @@ class ShardedBackend(ExecutionBackend):
                         on_outcome(*pair)
                     pairs.append(pair)
         else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+            try:
                 futures = [
                     pool.submit(execute_shard, shard, base_config, cache_dir)
                     for shard in shards
@@ -260,6 +299,14 @@ class ShardedBackend(ExecutionBackend):
                         if on_outcome is not None:
                             on_outcome(*pair)
                         pairs.append(pair)
+            except BaseException:
+                # Scenario failures are isolated worker-side, so reaching
+                # here means the transport (an ``on_outcome`` callback)
+                # or the pool itself broke: cancel the undispatched
+                # shards instead of letting them run on.
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
         outcomes: list["ScenarioOutcome | None"] = [None] * n
         for index, outcome in pairs:
             outcomes[index] = outcome
@@ -272,22 +319,61 @@ BACKENDS = {
     ShardedBackend.name: ShardedBackend,
 }
 
-BACKEND_NAMES = tuple(BACKENDS)
+REMOTE_BACKEND_NAME = "remote"
+"""Registered by name only: :class:`repro.sweep.remote.RemoteBackend`
+is imported lazily inside :func:`resolve_backend` (the remote module
+imports this one, so an eager registry entry would be a cycle)."""
+
+BACKEND_NAMES = (*BACKENDS, REMOTE_BACKEND_NAME)
 
 
 def resolve_backend(
-    backend: "str | ExecutionBackend", workers: "int | None" = None
+    backend: "str | ExecutionBackend",
+    workers: "int | None" = None,
+    addresses=None,
 ) -> ExecutionBackend:
     """Turn a backend name (or instance) into a ready backend.
 
-    ``workers`` is forwarded to name-constructed backends that take it;
-    an already-built instance is returned as-is (its own configuration
+    ``workers`` is forwarded to name-constructed backends that take it
+    and must be >= 1 when given. ``addresses`` — worker addresses as a
+    ``"host:port,host:port"`` string or an iterable of such entries —
+    is required by (and only valid for) the ``remote`` backend. An
+    already-built instance is returned as-is (its own configuration
     wins).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
+    name = str(backend)
+    if workers is not None and int(workers) < 1:
+        raise PlanningError(
+            f"worker count must be >= 1, got {workers} "
+            f"(omit it for min(#scenarios, cpu_count))"
+        )
+    if name == REMOTE_BACKEND_NAME:
+        from repro.sweep.remote import RemoteBackend, parse_worker_addresses
+
+        if not addresses:
+            raise PlanningError(
+                "the remote backend needs worker addresses "
+                "(--workers-at host:port,host:port,...)"
+            )
+        if workers is not None:
+            # Remote parallelism is the address list, nothing else;
+            # accepting-and-ignoring a worker count would be the silent
+            # misconfiguration this resolver exists to catch.
+            raise PlanningError(
+                "the remote backend takes --workers-at addresses; "
+                "--workers does not apply (repeat an address to "
+                "weight a worker)"
+            )
+        return RemoteBackend(addresses=parse_worker_addresses(addresses))
+    if addresses:
+        raise PlanningError(
+            f"worker addresses only apply to the "
+            f"{REMOTE_BACKEND_NAME!r} backend, not {name!r}"
+        )
     try:
-        cls = BACKENDS[str(backend)]
+        cls = BACKENDS[name]
     except KeyError:
         raise PlanningError(
             f"unknown execution backend {backend!r}; "

@@ -1,0 +1,602 @@
+"""Remote sweep execution: TCP worker daemons behind the backend contract.
+
+This module scales a sweep past one machine while keeping the oracle
+contract intact: a :class:`RemoteBackend` shards the grid across worker
+daemons (``repro worker serve``), every worker plans through the same
+:func:`~repro.sweep.runner.execute_scenario` as the in-process
+backends, and results travel back losslessly — so ``remote`` outcomes
+are bit-identical to ``serial`` ones, which the oracle tests pin.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`)
+------------------------------------------------
+Frames are length-prefixed JSON: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON (one object per frame,
+:data:`MAX_FRAME_BYTES` cap). Conversation, client side first::
+
+    {"op": "run", "protocol": 1, "base_config": {...}|null,
+     "scenarios": [{"index": 3, "scenario": <scenario_spec>}, ...]}
+                                    -> {"op": "outcome", "index": 3,
+                                        "record": <outcome_wire_record>}
+                                       ... one frame per scenario,
+                                       streamed as each finishes ...
+                                    -> {"op": "done", "n_executed": N}
+    {"op": "ping"}                  -> {"op": "pong", "protocol": 1, ...}
+    {"op": "shutdown"}              -> {"op": "bye"}   (daemon exits)
+
+``scenario`` payloads are :func:`~repro.sweep.scenario.scenario_spec`
+dicts (already *resolved* by the parent's :class:`SweepRunner` — seed
+policy and validation never run twice); ``record`` payloads are
+:func:`~repro.sweep.report.outcome_wire_record` dicts — the stream
+record schema plus a lossless ``results_wire`` twin. A server that
+cannot serve a request answers ``{"op": "error", "error": msg}`` and
+drops the connection.
+
+Failure semantics and rebalancing
+---------------------------------
+Two distinct failure domains:
+
+* **Scenario failures** are isolated *worker-side*, exactly like
+  :class:`~repro.sweep.backends.ShardedBackend`: a raising scenario
+  becomes a failure outcome frame (``error`` set, empty results) and
+  the rest of the shard still runs.
+* **Worker failures** (connection refused, dropped mid-stream, protocol
+  errors) kill only that worker's thread: outcomes already streamed
+  back stay committed, the shard's *unfinished* scenarios are requeued
+  and picked up by the surviving workers, and the dead worker is not
+  retried within the run. Only when every worker is dead with scenarios
+  still unfinished does ``run`` raise — and since streamed outcomes
+  were already delivered to ``on_outcome``, a ``--stream`` file keeps
+  its committed prefix and ``--resume`` finishes the sweep once workers
+  are back.
+
+Cache locality: each daemon uses its **own** ``--cache-dir`` (the
+parent's is not shipped); daemons on one machine may share a directory
+— the artifact store is concurrency-safe by design.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import struct
+import threading
+from dataclasses import asdict, dataclass
+
+from repro.core.config import PlannerConfig
+from repro.sweep.backends import ExecutionBackend, failure_outcome, make_shards
+from repro.sweep.report import outcome_from_wire_record, outcome_wire_record
+from repro.sweep.runner import ScenarioOutcome, execute_scenario
+from repro.sweep.scenario import scenario_from_spec, scenario_spec
+from repro.utils.errors import PlanningError
+
+PROTOCOL_VERSION = 1
+"""Bump on backwards-incompatible wire changes (frames carry it)."""
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Upper bound on one frame's JSON payload; anything larger is treated
+as protocol corruption, not data."""
+
+DEFAULT_HOST = "127.0.0.1"
+
+_LENGTH = struct.Struct(">I")
+
+
+class RemoteProtocolError(Exception):
+    """The peer spoke something that is not this wire protocol."""
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialize ``obj`` and send it as one length-prefixed frame."""
+    payload = json.dumps(obj).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> "bytes | None":
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise RemoteProtocolError(
+                f"connection closed mid-frame ({got} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> "dict | None":
+    """Read one frame; ``None`` when the peer closed between frames."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame header claims {length} bytes (cap {MAX_FRAME_BYTES}); "
+            f"peer is not speaking this protocol"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise RemoteProtocolError("connection closed before frame payload")
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+        if not isinstance(frame, dict):
+            raise ValueError("frame is not an object")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RemoteProtocolError(f"bad frame payload: {exc}") from None
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Addresses
+# ----------------------------------------------------------------------
+def parse_worker_addresses(addresses) -> tuple:
+    """Normalize worker addresses to a ``((host, port), ...)`` tuple.
+
+    Accepts a ``"host:port,host:port"`` string (the CLI form) or any
+    iterable of ``"host:port"`` strings / ``(host, port)`` pairs.
+    Duplicates are kept — pointing two slots at one daemon is a valid
+    way to weight it.
+    """
+    if isinstance(addresses, str):
+        entries = [a.strip() for a in addresses.split(",") if a.strip()]
+    else:
+        entries = list(addresses)
+    parsed = []
+    for entry in entries:
+        if isinstance(entry, (tuple, list)) and len(entry) == 2:
+            host, port = entry
+        elif isinstance(entry, str) and ":" in entry:
+            host, _, port = entry.rpartition(":")
+        else:
+            raise PlanningError(
+                f"bad worker address {entry!r}: expected host:port"
+            )
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise PlanningError(
+                f"bad worker address {entry!r}: port must be an integer"
+            ) from None
+        if not host or not 0 < port < 65536:
+            raise PlanningError(
+                f"bad worker address {entry!r}: expected host:port with "
+                f"a port in [1, 65535]"
+            )
+        parsed.append((str(host), port))
+    if not parsed:
+        raise PlanningError(
+            "no worker addresses given (expected host:port,host:port,...)"
+        )
+    return tuple(parsed)
+
+
+def format_address(address) -> str:
+    host, port = address
+    return f"{host}:{port}"
+
+
+def ping(address, timeout: float = 5.0) -> dict:
+    """Health-check one worker daemon; returns its ``pong`` frame."""
+    host, port = next(iter(parse_worker_addresses([address])))
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        send_frame(sock, {"op": "ping"})
+        frame = recv_frame(sock)
+    if frame is None or frame.get("op") != "pong":
+        raise RemoteProtocolError(
+            f"worker {host}:{port} answered {frame!r} to a ping"
+        )
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Worker daemon
+# ----------------------------------------------------------------------
+class WorkerServer:
+    """The ``repro worker serve`` daemon: executes sweep jobs over TCP.
+
+    One listening socket, one handler thread per connection; scenarios
+    within a job run serially through :func:`execute_scenario` against
+    this daemon's local :class:`~repro.sweep.cache.PrecomputationCache`
+    (``cache_dir=None`` disables caching). Per-scenario failures are
+    isolated into failure outcome frames; only protocol violations drop
+    a connection.
+
+    ``port=0`` binds an ephemeral port; the resolved address is in
+    :attr:`host` / :attr:`port` before :meth:`serve_forever` is called,
+    so tests and scripts can start daemons without picking ports.
+
+    ``fail_after_frames`` is a failure-injection hook for the rebalance
+    and resume tests: every connection is dropped abruptly (no ``done``
+    frame) after streaming that many outcome frames, which looks to the
+    client exactly like a worker killed mid-shard.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        cache_dir: "str | None" = None,
+        fail_after_frames: "int | None" = None,
+    ):
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.fail_after_frames = fail_after_frames
+        self._shutdown = threading.Event()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, int(port)))
+        self._sock.listen()
+        self.host, self.port = self._sock.getsockname()[:2]
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`shutdown`."""
+        self._sock.settimeout(0.2)  # poll the shutdown flag
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listening socket closed under us
+                threading.Thread(
+                    target=self._handle, args=(conn,), daemon=True
+                ).start()
+        finally:
+            self._sock.close()
+
+    def shutdown(self) -> None:
+        """Stop :meth:`serve_forever` (idempotent, thread-safe)."""
+        self._shutdown.set()
+
+    def start_in_thread(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (test helper)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                while True:
+                    frame = recv_frame(conn)
+                    if frame is None:
+                        return
+                    op = frame.get("op")
+                    if op == "ping":
+                        send_frame(conn, {
+                            "op": "pong",
+                            "protocol": PROTOCOL_VERSION,
+                            "pid": os.getpid(),
+                            "cache_dir": self.cache_dir,
+                        })
+                    elif op == "shutdown":
+                        send_frame(conn, {"op": "bye"})
+                        self.shutdown()
+                        return
+                    elif op == "run":
+                        if not self._run_job(conn, frame):
+                            return
+                    else:
+                        send_frame(conn, {
+                            "op": "error", "error": f"unknown op {op!r}",
+                        })
+                        return
+            except (OSError, RemoteProtocolError):
+                return  # client went away or spoke garbage; drop it
+
+    def _run_job(self, conn: socket.socket, frame: dict) -> bool:
+        """Execute one job, streaming outcome frames; False = close."""
+        protocol = frame.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            send_frame(conn, {
+                "op": "error",
+                "error": f"protocol {protocol!r} not supported; "
+                         f"this worker speaks {PROTOCOL_VERSION}",
+            })
+            return False
+        try:
+            raw_config = frame.get("base_config")
+            base_config = (
+                PlannerConfig(**raw_config) if raw_config is not None else None
+            )
+            jobs = [
+                (int(item["index"]), scenario_from_spec(item["scenario"]))
+                for item in frame.get("scenarios", ())
+            ]
+        except Exception as exc:  # noqa: BLE001 — anything bad in the job
+            send_frame(conn, {"op": "error", "error": f"bad job: {exc}"})
+            return False
+        n_sent = 0
+        for index, scenario in jobs:
+            try:
+                outcome = execute_scenario(scenario, base_config, self.cache_dir)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                outcome = failure_outcome(scenario, exc)
+            send_frame(conn, {
+                "op": "outcome",
+                "index": index,
+                "record": outcome_wire_record(outcome),
+            })
+            n_sent += 1
+            if (
+                self.fail_after_frames is not None
+                and n_sent >= self.fail_after_frames
+            ):
+                # Failure injection: vanish mid-shard, like a kill -9.
+                conn.close()
+                return False
+        send_frame(conn, {"op": "done", "n_executed": n_sent})
+        return True
+
+
+def serve_worker(
+    host: str = DEFAULT_HOST, port: int = 0, cache_dir: "str | None" = None
+) -> WorkerServer:
+    """Bind a :class:`WorkerServer` (CLI helper; caller serves/loops)."""
+    try:
+        return WorkerServer(host=host, port=port, cache_dir=cache_dir)
+    except OSError as exc:
+        raise PlanningError(
+            f"cannot bind worker to {host}:{port}: {exc}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class _WorkQueue:
+    """Shards pending execution, safe for requeueing on worker death.
+
+    ``get`` blocks while the queue is empty but some worker is still
+    mid-shard — that worker's death may requeue its leftovers — and
+    returns ``None`` only once no shard can ever arrive again.
+    """
+
+    def __init__(self, shards):
+        self._shards = list(shards)
+        self._active = 0
+        self._cond = threading.Condition()
+
+    def get(self):
+        with self._cond:
+            while True:
+                if self._shards:
+                    self._active += 1
+                    return self._shards.pop(0)
+                if self._active == 0:
+                    return None
+                self._cond.wait(timeout=0.1)
+
+    def task_done(self, requeue=None) -> None:
+        with self._cond:
+            self._active -= 1
+            if requeue:
+                self._shards.append(list(requeue))
+            self._cond.notify_all()
+
+    def drain(self):
+        """Whatever never ran (after all workers died)."""
+        with self._cond:
+            leftovers = [pair for shard in self._shards for pair in shard]
+            self._shards.clear()
+            return leftovers
+
+
+@dataclass(repr=False)
+class RemoteBackend(ExecutionBackend):
+    """Execute a sweep on ``repro worker serve`` daemons over TCP.
+
+    The grid is cut into :func:`~repro.sweep.backends.make_shards`
+    chunks (one per worker by default; ``shard_size`` sets a finer
+    granularity, which tightens rebalancing at the cost of more
+    round-trips) and each worker streams outcome frames back as its
+    scenarios finish. ``on_outcome`` fires in the parent — from the
+    caller's thread, serialized — so ``--stream``/``--resume`` work
+    unchanged. Scenario failures are isolated worker-side; a worker
+    that dies mid-shard has its unfinished scenarios rebalanced onto
+    the survivors (see the module docstring for the full rules).
+
+    ``connect_timeout`` bounds connection establishment only; once a
+    job is streaming there is no read deadline (scenarios may
+    legitimately take minutes), so a hung-but-connected worker stalls
+    the run — kill the daemon to trigger rebalancing.
+    """
+
+    name = "remote"
+    #: Workers read their own daemon-side stores, never the parent's
+    #: ``cache_dir`` — so the runner must not prewarm it (see
+    #: :attr:`ExecutionBackend.uses_parent_cache`).
+    uses_parent_cache = False
+    addresses: tuple = ()
+    shard_size: "int | None" = None
+    connect_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.addresses:
+            self.addresses = parse_worker_addresses(self.addresses)
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        return max(min(len(self.addresses), max(n_scenarios, 1)), 1)
+
+    # ------------------------------------------------------------------
+    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
+        if not self.addresses:
+            raise PlanningError(
+                "RemoteBackend has no worker addresses; pass "
+                "addresses=['host:port', ...]"
+            )
+        n = len(scenarios)
+        if n == 0:
+            return []
+        shards = make_shards(
+            scenarios, min(len(self.addresses), n), self.shard_size
+        )
+        work = _WorkQueue(shards)
+        events: "queue.Queue[tuple]" = queue.Queue()
+        config_doc = None if base_config is None else asdict(base_config)
+        threads = [
+            threading.Thread(
+                target=self._drive_worker,
+                args=(address, work, events, config_doc),
+                daemon=True,
+                name=f"remote-{format_address(address)}",
+            )
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+
+        outcomes: list["ScenarioOutcome | None"] = [None] * n
+        n_done = 0
+        dead: dict = {}
+        try:
+            while n_done < n:
+                try:
+                    event = events.get(timeout=0.1)
+                except queue.Empty:
+                    if any(thread.is_alive() for thread in threads):
+                        continue
+                    # All drivers exited with scenarios unfinished: drain
+                    # any final events, then report the failure.
+                    try:
+                        event = events.get_nowait()
+                    except queue.Empty:
+                        break
+                kind = event[0]
+                if kind == "outcome":
+                    _, index, outcome = event
+                    if outcomes[index] is None:
+                        n_done += 1
+                    outcomes[index] = outcome
+                    if on_outcome is not None:
+                        # Fired from this (the caller's) thread:
+                        # transports like StreamWriter need no locking
+                        # of their own.
+                        on_outcome(index, outcome)
+                else:  # ("dead", address, error)
+                    _, address, error = event
+                    dead[format_address(address)] = error
+        except BaseException:
+            # Abort (typically a broken on_outcome transport): empty the
+            # work queue so driver threads stop after their in-flight
+            # shard instead of executing the rest of the grid on workers
+            # behind the caller's back — the same queued-work
+            # cancellation the pool backends apply on abort.
+            work.drain()
+            raise
+        for thread in threads:
+            thread.join()
+        if n_done < n:
+            unfinished = work.drain()
+            missing = [i for i, o in enumerate(outcomes) if o is None]
+            failures = "; ".join(
+                f"{addr}: {err}" for addr, err in dead.items()
+            )
+            raise PlanningError(
+                f"remote sweep failed: all {len(self.addresses)} workers "
+                f"died with {len(missing)} of {n} scenarios unfinished "
+                f"({len(unfinished)} still queued). Worker errors: "
+                f"{failures or 'none recorded'}"
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _drive_worker(self, address, work: _WorkQueue, events, config_doc):
+        """One worker's driver thread: pull shards until none can come."""
+        while True:
+            shard = work.get()
+            if shard is None:
+                return
+            done: set = set()
+            try:
+                for index, outcome in self._run_shard(
+                    address, shard, config_doc
+                ):
+                    done.add(index)
+                    events.put(("outcome", index, outcome))
+            except Exception as exc:  # noqa: BLE001 — any failure on this
+                # path (socket, protocol, malformed record) means the
+                # worker cannot be trusted. Worker death: requeue what it
+                # never finished, report, and retire this worker for the
+                # rest of the run. A narrower catch would leak the
+                # work-queue active count and hang every other driver.
+                leftover = [(i, s) for i, s in shard if i not in done]
+                work.task_done(requeue=leftover)
+                events.put(("dead", address, f"{type(exc).__name__}: {exc}"))
+                return
+            work.task_done()
+
+    def _run_shard(self, address, shard, config_doc):
+        """Send one job; yield ``(index, outcome)`` as frames arrive."""
+        with socket.create_connection(
+            address, timeout=self.connect_timeout
+        ) as sock:
+            sock.settimeout(None)  # scenarios may run long; EOF still breaks
+            send_frame(sock, {
+                "op": "run",
+                "protocol": PROTOCOL_VERSION,
+                "base_config": config_doc,
+                "scenarios": [
+                    {"index": index, "scenario": scenario_spec(scenario)}
+                    for index, scenario in shard
+                ],
+            })
+            by_index = {index: scenario for index, scenario in shard}
+            delivered: set = set()
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise RemoteProtocolError(
+                        "worker closed the connection mid-shard"
+                    )
+                op = frame.get("op")
+                if op == "outcome":
+                    index = int(frame["index"])
+                    if index not in by_index:
+                        raise RemoteProtocolError(
+                            f"worker answered for unknown scenario "
+                            f"index {index}"
+                        )
+                    delivered.add(index)
+                    yield index, outcome_from_wire_record(
+                        frame["record"], by_index[index]
+                    )
+                elif op == "done":
+                    if delivered != set(by_index):
+                        # A clean-looking finish that skipped scenarios
+                        # is a faulty worker, not a finished shard —
+                        # raising here requeues the leftovers onto the
+                        # survivors instead of silently losing them.
+                        raise RemoteProtocolError(
+                            f"worker finished a shard of {len(by_index)} "
+                            f"scenarios but delivered only "
+                            f"{len(delivered)}"
+                        )
+                    return
+                elif op == "error":
+                    raise RemoteProtocolError(
+                        f"worker error: {frame.get('error')}"
+                    )
+                else:
+                    raise RemoteProtocolError(f"unexpected frame op {op!r}")

@@ -25,10 +25,10 @@ matches on to make interrupted sweeps resumable.
 from __future__ import annotations
 
 import json
-import os
 import sys
 from dataclasses import dataclass, field
 
+from repro.core.result import PlannedRoute, PlanResult
 from repro.sweep.scenario import constraints_record as _constraints_record
 from repro.utils.errors import DataError
 
@@ -232,6 +232,118 @@ def summary_record(
     return {"record": RECORD_SUMMARY, "n_replayed": int(n_replayed), **doc}
 
 
+# ----------------------------------------------------------------------
+# Wire (de)serialization: lossless ScenarioOutcome round-trips
+# ----------------------------------------------------------------------
+def result_wire_record(result) -> dict:
+    """One :class:`PlanResult` as a *lossless* JSON-safe dict.
+
+    Unlike :func:`_result_record` (the human/report schema, which rounds
+    floats and flattens the route), this keeps every field at full
+    precision — JSON floats round-trip exactly — so a result rebuilt by
+    :func:`result_from_wire` is bit-identical to the original. This is
+    the payload remote workers stream back to the parent.
+    """
+    route = result.route
+    return {
+        "method": result.method,
+        "route": None if route is None else {
+            "stops": list(route.stops),
+            "edge_indices": list(route.edge_indices),
+            "new_pairs": [list(p) for p in route.new_pairs],
+            "length_km": route.length_km,
+            "turns": route.turns,
+        },
+        "objective": result.objective,
+        "o_d": result.o_d,
+        "o_lambda": result.o_lambda,
+        "o_d_normalized": result.o_d_normalized,
+        "o_lambda_normalized": result.o_lambda_normalized,
+        "search_score": result.search_score,
+        "iterations": result.iterations,
+        "runtime_s": result.runtime_s,
+        "connectivity_evaluations": result.connectivity_evaluations,
+        "trace": [list(p) for p in result.trace],
+        "queue_pushes": result.queue_pushes,
+        "pruned_by_bound": result.pruned_by_bound,
+        "pruned_by_domination": result.pruned_by_domination,
+    }
+
+
+def result_from_wire(record) -> PlanResult:
+    """Rebuild the :class:`PlanResult` behind :func:`result_wire_record`."""
+    route = record["route"]
+    if route is not None:
+        route = PlannedRoute(
+            stops=tuple(int(s) for s in route["stops"]),
+            edge_indices=tuple(int(e) for e in route["edge_indices"]),
+            new_pairs=tuple(
+                (int(u), int(v)) for u, v in route["new_pairs"]
+            ),
+            length_km=float(route["length_km"]),
+            turns=int(route["turns"]),
+        )
+    return PlanResult(
+        method=record["method"],
+        route=route,
+        objective=record["objective"],
+        o_d=record["o_d"],
+        o_lambda=record["o_lambda"],
+        o_d_normalized=record["o_d_normalized"],
+        o_lambda_normalized=record["o_lambda_normalized"],
+        search_score=record["search_score"],
+        iterations=int(record["iterations"]),
+        runtime_s=record["runtime_s"],
+        connectivity_evaluations=int(record["connectivity_evaluations"]),
+        trace=[(int(i), float(v)) for i, v in record["trace"]],
+        queue_pushes=int(record["queue_pushes"]),
+        pruned_by_bound=int(record["pruned_by_bound"]),
+        pruned_by_domination=int(record["pruned_by_domination"]),
+    )
+
+
+def outcome_wire_record(outcome) -> dict:
+    """A :class:`ScenarioOutcome` as one wire frame payload.
+
+    Reuses the stream record schema — the dict *is* a valid
+    :func:`scenario_record` (plus ``schema``), so transports and humans
+    read it like any stream line — extended with ``results_wire``, the
+    lossless twin of ``results`` that :func:`outcome_from_wire_record`
+    rebuilds :class:`PlanResult` objects from. ``precomputation`` never
+    travels (same rule as worker processes in the pool backends).
+    """
+    record = scenario_record(outcome)
+    record["schema"] = SCHEMA_VERSION
+    record["results_wire"] = [result_wire_record(r) for r in outcome.results]
+    return record
+
+
+def outcome_from_wire_record(record, scenario):
+    """Rebuild a live :class:`ScenarioOutcome` from a wire frame payload.
+
+    ``scenario`` is the parent's own resolved :class:`Scenario` object
+    for this grid position — the wire carries only its spec, and reusing
+    the parent's instance keeps ``outcome.scenario`` identity stable for
+    downstream consumers (stream keying, tables).
+    """
+    from repro.sweep.runner import ScenarioOutcome
+
+    schema = record.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise DataError(
+            f"wire outcome record has schema {schema!r}; "
+            f"this build speaks schema {SCHEMA_VERSION}"
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        results=tuple(result_from_wire(r) for r in record["results_wire"]),
+        cache_hit=record.get("cache_hit"),
+        precompute_s=float(record.get("precompute_s", 0.0)),
+        total_s=float(record.get("total_s", 0.0)),
+        error=record.get("error"),
+    )
+
+
 class StreamWriter:
     """Append-only JSONL sweep stream; every record is flushed on write.
 
@@ -240,9 +352,13 @@ class StreamWriter:
     ``resume_at`` (a byte offset from :attr:`StreamRecords.valid_bytes`)
     reopens an existing file, truncates the torn tail an interrupted run
     may have left, and appends — the committed prefix is never
-    rewritten. Because each line is written and flushed atomically from
-    the parent process, a reader (or a crash) mid-run observes a valid
-    JSONL prefix, which is exactly what :func:`read_stream` consumes.
+    rewritten. A resume against a path with no file yet (the first
+    invocation of an unconditional ``--resume`` wrapper, or a file
+    deleted since it was read) simply starts a fresh stream instead of
+    failing on the ``r+`` open. Because each line is written and flushed
+    atomically from the parent process, a reader (or a crash) mid-run
+    observes a valid JSONL prefix, which is exactly what
+    :func:`read_stream` consumes.
     """
 
     def __init__(self, path: str, resume_at: "int | None" = None):
@@ -252,9 +368,12 @@ class StreamWriter:
             self._fh = sys.stdout
             self._owns = False
         elif resume_at is not None:
-            self._fh = open(self.path, "r+")
-            self._fh.seek(resume_at)
-            self._fh.truncate()
+            try:
+                self._fh = open(self.path, "r+")
+                self._fh.seek(resume_at)
+                self._fh.truncate()
+            except FileNotFoundError:
+                self._fh = open(self.path, "w")
             self._owns = True
         else:
             self._fh = open(self.path, "w")
@@ -310,8 +429,12 @@ class StreamRecords:
         }
 
 
-def read_stream(path: str) -> StreamRecords:
+def read_stream(path: str, missing_ok: bool = False) -> StreamRecords:
     """Parse a sweep stream file, tolerating an interrupted tail.
+
+    The file is consumed **line by line** — memory stays proportional
+    to the longest record, not the file, so the multi-GB streams a
+    long resumable sweep accumulates never spike the parent.
 
     Commit rule: only newline-terminated lines are committed (the
     writer flushes each record and its newline together). An
@@ -322,37 +445,53 @@ def read_stream(path: str) -> StreamRecords:
     :data:`SCHEMA_VERSION`, raises :class:`DataError` — those are
     corruption or incompatibility, not interruption. Record kinds other
     than ``scenario``/``summary`` are skipped for forward compatibility.
+
+    A stream with scenario records but **no** ``summary``
+    (``summary is None``) is an *interrupted* run, not a corrupt one —
+    a fail-fast abort or a kill commits the finished scenarios and
+    nothing else. Its committed records are full-fledged resume
+    currency: ``--resume`` replays them and executes the rest.
+
+    With ``missing_ok=True`` a path with no file reads as an empty
+    stream (no records, ``valid_bytes=0``) instead of raising — the
+    "resume before any run" case, which callers treat as a fresh start.
     """
-    if not os.path.exists(path):
-        raise DataError(f"stream file not found: {path!r}")
-    with open(path, "rb") as f:
-        raw = f.read()
     out = StreamRecords()
-    committed_end = raw.rfind(b"\n") + 1
-    out.truncated = committed_end < len(raw)
-    out.valid_bytes = committed_end
-    # Every element below ended in "\n" (split drops the empty tail).
-    for lineno, line in enumerate(raw[:committed_end].split(b"\n")[:-1]):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line.decode("utf-8"))
-            if not isinstance(record, dict):
-                raise ValueError("record is not an object")
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise DataError(
-                f"stream file {path!r} line {lineno + 1} is not a JSON "
-                f"record: {exc}"
-            ) from None
-        kind = record.get("record")
-        if kind == RECORD_SCENARIO:
-            schema = record.get("schema")
-            if schema != SCHEMA_VERSION:
+    try:
+        f = open(path, "rb")
+    except FileNotFoundError:
+        if missing_ok:
+            return out
+        raise DataError(f"stream file not found: {path!r}") from None
+    with f:
+        lineno = 0
+        for line in f:
+            lineno += 1
+            if not line.endswith(b"\n"):
+                # Unterminated tail: a torn final write, never committed.
+                out.truncated = True
+                break
+            out.valid_bytes += len(line)
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError) as exc:
                 raise DataError(
-                    f"stream file {path!r} line {lineno + 1} has schema "
-                    f"{schema!r}; this build reads schema {SCHEMA_VERSION}"
-                )
-            out.scenarios.append(record)
-        elif kind == RECORD_SUMMARY:
-            out.summary = record
+                    f"stream file {path!r} line {lineno} is not a JSON "
+                    f"record: {exc}"
+                ) from None
+            kind = record.get("record")
+            if kind == RECORD_SCENARIO:
+                schema = record.get("schema")
+                if schema != SCHEMA_VERSION:
+                    raise DataError(
+                        f"stream file {path!r} line {lineno} has schema "
+                        f"{schema!r}; this build reads schema {SCHEMA_VERSION}"
+                    )
+                out.scenarios.append(record)
+            elif kind == RECORD_SUMMARY:
+                out.summary = record
     return out

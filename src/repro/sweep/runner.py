@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import os
 from dataclasses import dataclass, field
 
 from repro.core.config import PlannerConfig
@@ -187,14 +186,23 @@ class SweepRunner:
         Directory for persistent precomputation artifacts; ``None``
         disables caching.
     workers:
-        Process count. ``None`` picks ``min(len(scenarios), cpu_count)``;
-        ``0``/``1`` runs serially in-process (no pool, same results).
+        Process count, ``>= 1``. ``None`` picks
+        ``min(len(scenarios), cpu_count)``; ``1`` runs serially
+        in-process (no pool, same results); a non-positive count
+        raises :class:`PlanningError` instead of silently clamping.
+        Does not apply to the ``remote`` backend (rejected — its
+        parallelism is the address list).
     backend:
         Execution strategy: a name from
         :data:`repro.sweep.backends.BACKEND_NAMES` (``"serial"``,
-        ``"process"``, ``"sharded"``) or a ready
+        ``"process"``, ``"sharded"``, ``"remote"``) or a ready
         :class:`~repro.sweep.backends.ExecutionBackend` instance.
         Default ``"process"`` — the PR 1 behavior.
+    addresses:
+        Worker daemon addresses for the ``remote`` backend
+        (``"host:port,host:port"`` or an iterable of entries); forwarded
+        to :func:`~repro.sweep.backends.resolve_backend`, which rejects
+        them for every other backend name.
     base_seed:
         Explicit sweep-wide seed applied to every scenario that does
         not set its own (via ``seed`` or a ``seed`` override). ``None``
@@ -219,6 +227,7 @@ class SweepRunner:
         base_seed: "int | None" = None,
         vary_seeds: bool = False,
         backend: str = "process",
+        addresses=None,
     ):
         self.base_config = base_config or PlannerConfig()
         self.cache_dir = str(cache_dir) if cache_dir else None
@@ -226,6 +235,7 @@ class SweepRunner:
         self.base_seed = None if base_seed is None else int(base_seed)
         self.vary_seeds = bool(vary_seeds)
         self.backend = backend
+        self.addresses = addresses
         #: Workers used by the most recent :meth:`run` (1 = serial path).
         self.last_worker_count = 0
 
@@ -253,7 +263,23 @@ class SweepRunner:
     def _resolve_backend(self):
         from repro.sweep.backends import resolve_backend
 
-        return resolve_backend(self.backend, workers=self.workers)
+        return resolve_backend(
+            self.backend, workers=self.workers, addresses=self.addresses
+        )
+
+    def report_cache_dir(self) -> "str | None":
+        """The cache directory report blocks should describe.
+
+        ``None`` unless the backend's workers actually read
+        ``self.cache_dir`` — remote daemons keep their own stores, so
+        attributing their per-scenario ``cache_hit`` flags to the
+        parent's (untouched) directory would make the report's cache
+        block self-contradictory. The per-record flags still carry the
+        worker-side truth either way.
+        """
+        if self.cache_dir and self._resolve_backend().uses_parent_cache:
+            return self.cache_dir
+        return None
 
     def _prewarm(self, resolved) -> set[int]:
         """Compute each unique cold cache key once, in the parent.
@@ -302,19 +328,27 @@ class SweepRunner:
         """
         return self._run_resolved(self.resolve(scenarios), on_outcome)
 
-    def _run_resolved(self, resolved, on_outcome=None) -> list[ScenarioOutcome]:
+    def _run_resolved(
+        self, resolved, on_outcome=None, backend=None
+    ) -> list[ScenarioOutcome]:
         """:meth:`run` minus resolution, for callers that already resolved
         (and keyed) the scenarios — resolution must happen exactly once so
-        stream-record keys always describe what actually executed."""
+        stream-record keys always describe what actually executed.
+        ``backend`` lets those callers reuse an already-resolved backend
+        instead of re-constructing it."""
         if not resolved:
             self.last_worker_count = 0
             return []
-        backend = self._resolve_backend()
+        if backend is None:
+            backend = self._resolve_backend()
         n_workers = backend.effective_workers(len(resolved))
         self.last_worker_count = n_workers
+        # Prewarm only when the backend's workers will read this cache:
+        # remote daemons use their own stores, so computing keys here
+        # would duplicate the expensive work without warming anything.
         prewarmed = (
             self._prewarm(resolved)
-            if self.cache_dir and n_workers > 1
+            if self.cache_dir and n_workers > 1 and backend.uses_parent_cache
             else set()
         )
 
@@ -360,8 +394,12 @@ class SweepRunner:
         re-runs exactly the failures. A torn final line from the
         interruption is truncated before appending; the committed
         prefix is never rewritten. Resuming a path with no file yet is
-        simply a fresh run, so one command line can be re-issued until
-        it exits clean.
+        simply a fresh run — wrappers can pass ``resume=True``
+        unconditionally and re-issue one command line until it exits
+        clean. A summary-**less** stream (scenario records but no
+        terminal ``summary``) is the normal footprint of an interrupted
+        or aborted run, not corruption: its committed records replay
+        and only the missing scenarios execute.
 
         ``announce(n_total, n_replayed)`` fires once before execution;
         ``on_record(index, record)`` after each fresh record is
@@ -374,24 +412,29 @@ class SweepRunner:
         resolved = self.resolve(scenarios)
         keys = [scenario_key(s, self.base_config) for s in resolved]
         cache_keys = [scenario_cache_key(s, self.base_config) for s in resolved]
-        backend_name = self._resolve_backend().name
+        backend = self._resolve_backend()
+        summary_cache_dir = (
+            self.cache_dir if backend.uses_parent_cache else None
+        )
 
         replay: dict[int, dict] = {}
         resume_at = None
         if resume:
             if str(path) == "-":
                 raise PlanningError("cannot resume a stream written to stdout")
-            if os.path.exists(path):
-                existing = read_stream(path)
-                committed = existing.committed
-                for i, key in enumerate(keys):
-                    record = committed.get(key)
-                    if record is None or record.get("cache_key") != cache_keys[i]:
-                        continue
-                    if retry_failures and not record["ok"]:
-                        continue
-                    replay[i] = record
-                resume_at = existing.valid_bytes
+            # missing_ok: the first invocation of an unconditional
+            # --resume wrapper has no file yet — that is a fresh run
+            # (empty stream, resume_at=0, StreamWriter starts anew).
+            existing = read_stream(path, missing_ok=True)
+            committed = existing.committed
+            for i, key in enumerate(keys):
+                record = committed.get(key)
+                if record is None or record.get("cache_key") != cache_keys[i]:
+                    continue
+                if retry_failures and not record["ok"]:
+                    continue
+                replay[i] = record
+            resume_at = existing.valid_bytes
 
         pending = [i for i in range(len(resolved)) if i not in replay]
         records: list["dict | None"] = [replay.get(i) for i in range(len(resolved))]
@@ -413,15 +456,16 @@ class SweepRunner:
                         on_record(i, records[i])
 
                 self._run_resolved(
-                    [resolved[i] for i in pending], on_outcome=_emit
+                    [resolved[i] for i in pending], on_outcome=_emit,
+                    backend=backend,
                 )
             else:
                 self.last_worker_count = 0
             summary = writer.write_summary(
                 [r for r in records if r is not None],
-                backend=backend_name,
+                backend=backend.name,
                 workers=self.last_worker_count,
-                cache_dir=self.cache_dir,
+                cache_dir=summary_cache_dir,
                 n_replayed=len(replay),
             )
         finally:

@@ -128,6 +128,59 @@ def constraints_record(constraints: "PlanningConstraints | None") -> "dict | Non
     }
 
 
+def constraints_from_record(record) -> "PlanningConstraints | None":
+    """Inverse of :func:`constraints_record` (shared with grid files)."""
+    return _parse_constraints(record)
+
+
+def scenario_spec(scenario: Scenario) -> dict:
+    """A :class:`Scenario` as a JSON-safe dict (the wire/job format).
+
+    Round-trips exactly through :func:`scenario_from_spec`:
+    ``scenario_from_spec(json.loads(json.dumps(scenario_spec(s)))) == s``
+    for any valid scenario, which is what lets the remote backend ship
+    already-resolved scenarios to worker daemons without re-resolution.
+    """
+    return {
+        "name": scenario.name,
+        "city": scenario.city,
+        "profile": scenario.profile,
+        "method": scenario.method,
+        "overrides": dict(scenario.overrides),
+        "constraints": constraints_record(scenario.constraints),
+        "route_count": scenario.route_count,
+        "seed": scenario.seed,
+    }
+
+
+def scenario_from_spec(spec) -> Scenario:
+    """Rebuild a :class:`Scenario` from a :func:`scenario_spec` dict."""
+    if not isinstance(spec, Mapping):
+        raise DataError(
+            f"scenario spec must be a mapping, got {type(spec).__name__}"
+        )
+    spec = dict(spec)
+    name = spec.pop("name", None)
+    if not name:
+        raise DataError("scenario spec has no name")
+    scenario = Scenario(
+        name=str(name),
+        city=spec.pop("city", "chicago"),
+        profile=spec.pop("profile", "tiny"),
+        method=spec.pop("method", "eta-pre"),
+        overrides=dict(spec.pop("overrides", {}) or {}),
+        constraints=constraints_from_record(spec.pop("constraints", None)),
+        route_count=_as_count(
+            spec.pop("route_count", 1), f"scenario {name!r} route_count"
+        ),
+        seed=spec.pop("seed", None),
+    )
+    if spec:
+        raise DataError(f"scenario spec {name!r}: unknown keys {sorted(spec)}")
+    _check_dataset_spec(scenario.name, scenario.city, scenario.profile)
+    return scenario
+
+
 SCENARIO_KEY_LENGTH = 32
 """Hex characters kept from the scenario-key sha256 digest (128 bits)."""
 

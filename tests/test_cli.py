@@ -347,6 +347,33 @@ class TestStreamFlags:
         )) == 2
         assert "cannot write stream file" in capsys.readouterr().err
 
+    def test_resume_on_first_invocation_is_fresh_run(self, tmp_path, capsys):
+        """ISSUE 4 regression: `--stream f.jsonl --resume` with no file
+        yet must start a fresh stream (exit 0), so wrappers can pass
+        --resume unconditionally from the very first invocation."""
+        stream = tmp_path / "never-written.jsonl"
+        assert not stream.exists()
+        assert main(self._args(
+            tmp_path, ["--stream", str(stream), "--resume"]
+        )) == 0
+        captured = capsys.readouterr()
+        assert "resume: 0 of 2 scenarios already committed" in captured.err
+        lines = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert [l["record"] for l in lines] == ["scenario", "scenario",
+                                                "summary"]
+        # And the second invocation of the same command replays it all.
+        assert main(self._args(
+            tmp_path, ["--stream", str(stream), "--resume"]
+        )) == 0
+        assert "(2 replayed)" in capsys.readouterr().out
+
+    def test_nonpositive_workers_exits_2(self, tmp_path, capsys):
+        for workers in ("0", "-2"):
+            args = [a for a in self._args(tmp_path)]
+            args[args.index("--workers") + 1] = workers
+            assert main(args) == 2
+            assert "worker count must be >= 1" in capsys.readouterr().err
+
 
 class TestCacheCommand:
     def _sweep(self, tmp_path, extra=()):

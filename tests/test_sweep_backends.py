@@ -6,6 +6,9 @@ planner-facade calls; the sharded backend additionally isolates
 per-scenario failures instead of killing the sweep.
 """
 
+import os
+import time
+
 import pytest
 
 from repro.core.config import PlannerConfig
@@ -33,6 +36,10 @@ GRID = {
     "method": ["eta-pre", "vk-tsp"],
 }
 
+LOCAL_BACKEND_NAMES = tuple(n for n in BACKEND_NAMES if n != "remote")
+"""The in-process backends (the remote backend needs worker daemons;
+its oracle/failure tests live in tests/test_sweep_remote.py)."""
+
 
 @pytest.fixture(scope="module")
 def grid_scenarios():
@@ -41,10 +48,10 @@ def grid_scenarios():
 
 @pytest.fixture(scope="module")
 def backend_outcomes(grid_scenarios, tmp_path_factory):
-    """The same grid through all three backends (shared warm cache)."""
+    """The same grid through all in-process backends (shared warm cache)."""
     cache_dir = str(tmp_path_factory.mktemp("backend-cache"))
     outcomes = {}
-    for backend in BACKEND_NAMES:
+    for backend in LOCAL_BACKEND_NAMES:
         runner = SweepRunner(
             base_config=BASE, cache_dir=cache_dir, workers=2, backend=backend
         )
@@ -73,7 +80,7 @@ class TestBackendOracle:
                 assert out.result.iterations == ref.result.iterations
 
     def test_outcomes_keep_input_order(self, grid_scenarios, backend_outcomes):
-        for backend in BACKEND_NAMES:
+        for backend in LOCAL_BACKEND_NAMES:
             names = [o.scenario.name for o in backend_outcomes[backend]]
             assert names == [s.name for s in grid_scenarios]
 
@@ -111,6 +118,53 @@ class TestResolveBackend:
     def test_single_scenario_is_serial(self):
         for name in ("process", "sharded"):
             assert resolve_backend(name, workers=4).effective_workers(1) == 1
+
+
+class TestWorkerValidation:
+    """Non-positive worker/shard counts are config errors, not silent
+    clamps (ISSUE 4 satellite): they raise PlanningError, which the CLI
+    turns into exit 2."""
+
+    @pytest.mark.parametrize("workers", [0, -1, -100])
+    def test_resolve_backend_rejects_nonpositive_workers(self, workers):
+        for name in ("process", "sharded"):
+            with pytest.raises(PlanningError, match="must be >= 1"):
+                resolve_backend(name, workers=workers)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_backend_instances_reject_nonpositive_workers(self, workers):
+        # Direct construction bypasses resolve_backend; the count is
+        # validated when it is actually used.
+        with pytest.raises(PlanningError, match="must be >= 1"):
+            ProcessBackend(workers=workers).effective_workers(5)
+        with pytest.raises(PlanningError, match="must be >= 1"):
+            ShardedBackend(workers=workers).effective_workers(5)
+
+    @pytest.mark.parametrize("shard_size", [0, -2])
+    def test_make_shards_rejects_nonpositive_shard_size(
+        self, grid_scenarios, shard_size
+    ):
+        with pytest.raises(PlanningError, match="shard_size must be >= 1"):
+            make_shards(grid_scenarios, 2, shard_size=shard_size)
+
+    def test_make_shards_rejects_nonpositive_shard_count(self, grid_scenarios):
+        with pytest.raises(PlanningError, match="shard count must be >= 1"):
+            make_shards(grid_scenarios, 0)
+
+    def test_sharded_backend_shard_size_zero_raises_not_tracebacks(
+        self, grid_scenarios, tmp_path
+    ):
+        backend = ShardedBackend(workers=2, shard_size=0)
+        with pytest.raises(PlanningError, match="shard_size"):
+            backend.run(grid_scenarios, BASE, str(tmp_path))
+
+    def test_runner_surfaces_worker_validation(self, grid_scenarios, tmp_path):
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=str(tmp_path), workers=0,
+            backend="process",
+        )
+        with pytest.raises(PlanningError, match="must be >= 1"):
+            runner.run(grid_scenarios)
 
 
 class TestMakeShards:
@@ -250,11 +304,75 @@ class TestFailureIsolation:
         assert not out.ok
 
 
+def _marker_scenario(scenario, base_config=None, cache_dir=None):
+    """Module-level execute_scenario stand-in (picklable for the pool).
+
+    Writes one marker file per executed scenario into ``cache_dir``
+    (repurposed as the marker directory), raises for the doomed
+    scenario, and sleeps long enough elsewhere that the parent's abort
+    handling races ahead of the queue.
+    """
+    open(os.path.join(cache_dir, scenario.name), "w").close()
+    if scenario.name == "doomed":
+        raise RuntimeError("boom")
+    time.sleep(0.75)
+    return failure_outcome(scenario, ValueError("result unused"))
+
+
+class TestFailFastAbort:
+    """A fail-fast abort must cancel still-queued scenarios instead of
+    letting them run to completion behind the caller's back."""
+
+    def test_process_abort_cancels_queued_scenarios(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.backends as backends_mod
+
+        monkeypatch.setattr(
+            backends_mod, "execute_scenario", _marker_scenario
+        )
+        scenarios = [Scenario(name="doomed")] + [
+            Scenario(name=f"sleeper-{i}") for i in range(7)
+        ]
+        backend = ProcessBackend(workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            backend.run(scenarios, BASE, str(tmp_path))
+        # The doomed scenario fails almost instantly while every other
+        # one sleeps; by the time the parent sees the failure at most
+        # the two in-flight sleepers (plus immediate pickups) have
+        # started. Without cancel_futures all 8 markers appear.
+        executed = len(list(tmp_path.iterdir()))
+        assert executed < len(scenarios), (
+            "queued scenarios ran to completion after a fail-fast abort"
+        )
+
+    def test_sharded_abort_on_broken_callback_cancels_queue(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.backends as backends_mod
+
+        monkeypatch.setattr(
+            backends_mod, "execute_scenario", _marker_scenario
+        )
+        scenarios = [Scenario(name=f"sleeper-{i}") for i in range(8)]
+
+        def broken_transport(index, outcome):
+            raise OSError("stream transport gone")
+
+        backend = ShardedBackend(workers=2, shard_size=1)
+        with pytest.raises(OSError, match="transport"):
+            backend.run(
+                scenarios, BASE, str(tmp_path), on_outcome=broken_transport
+            )
+        executed = len(list(tmp_path.iterdir()))
+        assert executed < len(scenarios)
+
+
 class TestStreamingCallbacks:
     """The on_outcome event channel: every index fires exactly once, in
     the parent process, with the same object the result list returns."""
 
-    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend", LOCAL_BACKEND_NAMES)
     def test_each_index_fires_once_with_returned_outcome(
         self, backend, grid_scenarios, tmp_path
     ):

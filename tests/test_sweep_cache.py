@@ -412,3 +412,77 @@ class TestEviction:
         assert cache.clear() == 2
         assert cache.n_entries == 0
         assert cache.clear() == 0
+
+
+class TestEvictStoreRace:
+    """Eviction racing a concurrent ``store`` (ISSUE 4 satellite).
+
+    ``store`` commits npz first, json (the marker) last, and ``evict``
+    deletes json first, npz last — so at any interleaving a pair can be
+    half-committed on disk. The contract: a half-committed pair neither
+    counts as an entry nor crashes eviction, and eviction never touches
+    the files a mid-flight store is about to commit over.
+    """
+
+    def _committed(self, cache, micro, micro_config, seed=1):
+        cfg = micro_config.variant(seed=seed)
+        cache.fetch_or_compute(micro, cfg)
+        return cache.key_for(micro, cfg)
+
+    def test_npz_without_marker_is_invisible_and_survives(
+        self, micro, micro_config, tmp_path
+    ):
+        # The mid-store state: npz renamed into place, json not yet.
+        cache = PrecomputationCache(str(tmp_path))
+        key = self._committed(cache, micro, micro_config)
+        staged = "f" * 32
+        os.rename(tmp_path / f"{key}.npz", tmp_path / f"{staged}.npz")
+        os.unlink(tmp_path / f"{key}.json")
+        assert cache.n_entries == 0
+        assert cache.evict(max_entries=0) == []
+        # The in-flight entry's npz is still there for the racing store
+        # to commit its marker over.
+        assert (tmp_path / f"{staged}.npz").exists()
+
+    def test_marker_without_npz_is_invisible_to_evict(
+        self, micro, micro_config, tmp_path
+    ):
+        # The mid-evict state seen by a concurrent reader: json deleted
+        # first leaves npz; the inverse (a torn pair with only json)
+        # must likewise neither count nor crash.
+        cache = PrecomputationCache(str(tmp_path))
+        self._committed(cache, micro, micro_config)
+        orphan = "0" * 32
+        (tmp_path / f"{orphan}.json").write_text("{}")
+        assert cache.n_entries == 1
+        evicted = cache.evict(max_entries=0)
+        assert orphan not in evicted
+        assert (tmp_path / f"{orphan}.json").exists()
+
+    def test_entry_vanishing_mid_eviction_does_not_crash(
+        self, micro, micro_config, tmp_path, monkeypatch
+    ):
+        # Another process evicts the same pair between this process's
+        # listing and its unlinks: deletion must stay best-effort.
+        cache = PrecomputationCache(str(tmp_path))
+        key = self._committed(cache, micro, micro_config)
+        stale = cache.entries()
+        assert [e.key for e in stale] == [key]
+        os.unlink(tmp_path / f"{key}.json")
+        os.unlink(tmp_path / f"{key}.npz")
+        monkeypatch.setattr(cache, "entries", lambda: list(stale))
+        assert cache.evict(max_entries=0) == [key]
+        assert cache.clear() == 1  # same tolerance on the clear path
+
+    def test_store_completing_after_evict_recommits(
+        self, micro, micro_config, tmp_path
+    ):
+        # Full interleaving: store stages, evict(0) runs, store commits.
+        # The freshly-committed pair must be a fully readable entry.
+        cache = PrecomputationCache(str(tmp_path))
+        pre = precompute(micro, micro_config)
+        self._committed(cache, micro, micro_config, seed=9)
+        cache.evict(max_entries=0)
+        key = cache.store(pre, micro)
+        assert [e.key for e in cache.entries()] == [key]
+        assert cache.load(micro, micro_config) is not None

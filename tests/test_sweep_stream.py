@@ -21,6 +21,7 @@ from repro.sweep import (
     Scenario,
     StreamWriter,
     SweepRunner,
+    WorkerServer,
     expand_grid,
     read_stream,
     scenario_cache_key,
@@ -55,10 +56,22 @@ def cache_dir(tmp_path_factory):
     return str(tmp_path_factory.mktemp("stream-cache"))
 
 
-def make_runner(cache_dir, backend="serial", workers=1):
+def make_runner(cache_dir, backend="serial", workers=1, addresses=None):
     return SweepRunner(
-        base_config=BASE, cache_dir=cache_dir, workers=workers, backend=backend
+        base_config=BASE, cache_dir=cache_dir, workers=workers,
+        backend=backend, addresses=addresses,
     )
+
+
+@pytest.fixture(scope="module")
+def worker_addresses(cache_dir):
+    """Two live worker daemons for the remote-backend parametrizations."""
+    servers = [WorkerServer(cache_dir=cache_dir) for _ in range(2)]
+    for server in servers:
+        server.start_in_thread()
+    yield [f"{s.host}:{s.port}" for s in servers]
+    for server in servers:
+        server.shutdown()
 
 
 @pytest.fixture(scope="module")
@@ -276,14 +289,21 @@ class TestResumeKeying:
 
 
 class TestCrossBackendResumeIdentity:
-    """Acceptance: interrupt + resume is bit-identical on all backends."""
+    """Acceptance: interrupt + resume is bit-identical on all backends —
+    including ``remote``, which runs against two live worker daemons."""
 
     @pytest.mark.parametrize("backend", BACKEND_NAMES)
     def test_resumed_equals_uninterrupted(
-        self, backend, grid_scenarios, cache_dir, tmp_path, reference_records
+        self, backend, grid_scenarios, cache_dir, tmp_path,
+        reference_records, worker_addresses,
     ):
         path = str(tmp_path / f"{backend}.jsonl")
-        runner = make_runner(cache_dir, backend=backend, workers=2)
+        remote = backend == "remote"
+        runner = make_runner(
+            cache_dir, backend=backend,
+            workers=None if remote else 2,  # remote: parallelism = addresses
+            addresses=worker_addresses if remote else None,
+        )
         # "Interrupt" after half the grid: stream only a prefix, drop
         # the summary so the file looks exactly like a killed run.
         runner.run_stream(grid_scenarios[:3], path)
@@ -302,6 +322,40 @@ class TestReadStream:
     def test_missing_file(self, tmp_path):
         with pytest.raises(DataError, match="not found"):
             read_stream(str(tmp_path / "absent.jsonl"))
+
+    def test_missing_file_ok_reads_as_empty_stream(self, tmp_path):
+        parsed = read_stream(str(tmp_path / "absent.jsonl"), missing_ok=True)
+        assert parsed.scenarios == []
+        assert parsed.summary is None
+        assert parsed.valid_bytes == 0
+        assert not parsed.truncated
+
+    def test_writer_resume_at_missing_file_starts_fresh(self, tmp_path):
+        # The race the unconditional-resume wrapper can hit: the file
+        # vanished (or never existed) between read_stream and the
+        # writer's r+ open. A fresh stream, not a FileNotFoundError.
+        path = tmp_path / "gone.jsonl"
+        with StreamWriter(str(path), resume_at=0) as writer:
+            writer.write_record({"record": "heartbeat"})
+        assert json.loads(path.read_text())["record"] == "heartbeat"
+
+    def test_line_by_line_parity_with_blank_lines_and_torn_tail(
+        self, tmp_path
+    ):
+        # The streaming parser must apply the same commit rule as the
+        # old slurping one: blank lines skipped but committed, torn
+        # tail dropped and excluded from valid_bytes.
+        path = tmp_path / "mixed.jsonl"
+        body = (
+            json.dumps({"record": "summary", "n_ok": 1}) + "\n"
+            + "\n"
+            + json.dumps({"record": "heartbeat"}) + "\n"
+        )
+        path.write_text(body + '{"torn": ')
+        parsed = read_stream(str(path))
+        assert parsed.truncated
+        assert parsed.valid_bytes == len(body.encode())
+        assert parsed.summary == {"record": "summary", "n_ok": 1}
 
     def test_mid_file_garbage_raises(self, tmp_path):
         path = tmp_path / "garbage.jsonl"
