@@ -12,7 +12,13 @@ Commands
 ``cache``    inspect and bound the precomputation cache
              (``stats`` / ``evict`` / ``clear``).
 ``worker``   remote sweep worker daemon: ``worker serve --port N``
-             accepts sweep jobs over TCP for ``--backend remote``.
+             accepts sweep jobs over TCP for ``--backend remote``
+             (``--secret-file`` authenticates the wire, ``--capacity``
+             weights sharding, ``--registry`` self-registers).
+``registry`` worker registry daemon: ``registry serve`` tracks live
+             workers (heartbeats, capacity, TTL age-out) so sweeps can
+             discover them with ``--registry`` instead of static
+             ``--workers-at`` lists.
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
 
@@ -32,6 +38,11 @@ Examples::
     python -m repro worker serve --port 7401 --cache-dir .worker-cache
     python -m repro sweep --grid grid.yaml --backend remote \\
         --workers-at 127.0.0.1:7401,127.0.0.1:7402 --stream out.jsonl
+    python -m repro registry serve --port 7500 --secret-file secret.txt
+    python -m repro worker serve --port 7401 --capacity 4 \\
+        --secret-file secret.txt --registry 127.0.0.1:7500
+    python -m repro sweep --grid grid.yaml --backend remote \\
+        --registry 127.0.0.1:7500 --secret-file secret.txt
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache evict --max-entries 8 --max-bytes 50000000
     python -m repro removal --city nyc --profile small
@@ -67,6 +78,20 @@ parser construction does not import the sweep package)."""
 
 DEFAULT_WORKER_PORT = 7400
 """Default TCP port for ``repro worker serve``."""
+
+DEFAULT_REGISTRY_PORT = 7500
+"""Default TCP port for ``repro registry serve`` (mirrors
+:data:`repro.sweep.registry.DEFAULT_REGISTRY_PORT`; kept literal so
+parser construction does not import the sweep package)."""
+
+
+def _load_secret_arg(path: "str | None") -> "bytes | None":
+    """``--secret-file`` contents as bytes, or ``None`` when unset."""
+    if not path:
+        return None
+    from repro.sweep.remote import load_secret
+
+    return load_secret(path)
 
 
 def _add_city_args(parser: argparse.ArgumentParser) -> None:
@@ -241,7 +266,7 @@ def _cmd_sweep(args) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
     stream_run = None
     try:
-        # Backend/worker/address combinations are validated by
+        # Backend/worker/address/registry combinations are validated by
         # resolve_backend (one source of truth); its PlanningError is
         # caught below and exits 2 like every other usage error.
         scenarios, base = _sweep_scenarios(args)
@@ -252,6 +277,8 @@ def _cmd_sweep(args) -> int:
             base_seed=args.seed,
             backend=args.backend,
             addresses=args.workers_at or None,
+            registry=args.registry or None,
+            secret=_load_secret_arg(args.secret_file),
         )
         if args.stream:
             try:
@@ -400,21 +427,65 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_worker(args) -> int:
+    from repro.sweep.registry import Heartbeat, resolve_registry
     from repro.sweep.remote import serve_worker
 
     cache_dir = None if args.no_cache else args.cache_dir
+    heartbeat = None
     try:
+        secret = _load_secret_arg(args.secret_file)
         server = serve_worker(
-            host=args.host, port=args.port, cache_dir=cache_dir
+            host=args.host, port=args.port, cache_dir=cache_dir,
+            secret=secret, capacity=args.capacity,
+            advertise_host=args.advertise_host or None,
         )
-    except PlanningError as exc:
+        if args.registry:
+            # Register before announcing readiness so a typo'd
+            # --registry exits 2 instead of silently never registering.
+            heartbeat = Heartbeat(
+                resolve_registry(args.registry, secret=secret),
+                server.worker_record,
+                interval=args.heartbeat,
+            )
+            heartbeat.start()
+    except (PlanningError, DataError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # The "listening" line is the readiness signal wrappers (and the CI
     # smoke) wait for; the resolved port matters when --port 0 was used.
     print(
         f"worker listening on {server.host}:{server.port} "
-        f"(cache: {cache_dir or 'disabled'})",
+        f"(cache: {cache_dir or 'disabled'}, capacity: {server.capacity}, "
+        f"auth: {'on' if secret else 'off'}"
+        f"{f', registry: {args.registry}' if args.registry else ''})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        if heartbeat is not None:
+            heartbeat.stop(deregister=True)
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from repro.sweep.registry import serve_registry
+
+    try:
+        secret = _load_secret_arg(args.secret_file)
+        server = serve_registry(
+            host=args.host, port=args.port, secret=secret, ttl=args.ttl
+        )
+    except PlanningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Readiness line, same contract as the worker daemon's.
+    print(
+        f"registry listening on {server.host}:{server.port} "
+        f"(ttl: {server.ttl:g}s, auth: {'on' if secret else 'off'})",
         flush=True,
     )
     try:
@@ -539,6 +610,16 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="HOST:PORT,...",
                          help="remote worker daemon addresses for "
                               "--backend remote (see 'repro worker serve')")
+    p_sweep.add_argument("--registry", default="",
+                         metavar="HOST:PORT|PATH",
+                         help="resolve remote workers from a registry "
+                              "('repro registry serve' address, or a JSON "
+                              "registry file) instead of --workers-at; "
+                              "workers joining mid-sweep are picked up")
+    p_sweep.add_argument("--secret-file", default="", metavar="PATH",
+                         help="shared secret authenticating the remote "
+                              "workers/registry (must match their "
+                              "--secret-file)")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="sweep-wide seed (default: the base config's)")
     p_sweep.add_argument("--json", default="", metavar="PATH",
@@ -608,7 +689,55 @@ def build_parser() -> argparse.ArgumentParser:
                                      "directory")
     p_worker_serve.add_argument("--no-cache", action="store_true",
                                 help="disable the precomputation cache")
+    p_worker_serve.add_argument("--secret-file", default="", metavar="PATH",
+                                help="require the HMAC handshake against "
+                                     "this shared secret on every "
+                                     "connection")
+    p_worker_serve.add_argument("--capacity", type=int, default=1,
+                                help="advertised scheduling weight: a "
+                                     "capacity-4 worker receives ~4x the "
+                                     "scenarios of a capacity-1 worker")
+    p_worker_serve.add_argument("--registry", default="",
+                                metavar="HOST:PORT|PATH",
+                                help="register (and heartbeat) into this "
+                                     "worker registry so sweeps can "
+                                     "discover the worker")
+    p_worker_serve.add_argument("--advertise-host", default="",
+                                metavar="HOST",
+                                help="host to publish in the registry "
+                                     "(default: the bound --host; set it "
+                                     "when binding 0.0.0.0)")
+    p_worker_serve.add_argument("--heartbeat", type=float, default=2.0,
+                                metavar="SECONDS",
+                                help="registry heartbeat interval")
     p_worker_serve.set_defaults(func=_cmd_worker)
+
+    p_registry = sub.add_parser(
+        "registry", help="worker registry daemon (see sweep --registry)"
+    )
+    registry_sub = p_registry.add_subparsers(
+        dest="registry_command", required=True
+    )
+    p_registry_serve = registry_sub.add_parser(
+        "serve", help="track live workers over TCP until interrupted"
+    )
+    p_registry_serve.add_argument("--host", default="127.0.0.1",
+                                  help="interface to bind")
+    p_registry_serve.add_argument("--port", type=int,
+                                  default=DEFAULT_REGISTRY_PORT,
+                                  help="TCP port (0 picks an ephemeral "
+                                       "port; the resolved port is "
+                                       "printed)")
+    p_registry_serve.add_argument("--secret-file", default="",
+                                  metavar="PATH",
+                                  help="require the HMAC handshake against "
+                                       "this shared secret on every "
+                                       "connection")
+    p_registry_serve.add_argument("--ttl", type=float, default=30.0,
+                                  metavar="SECONDS",
+                                  help="registrations without a heartbeat "
+                                       "for this long age out")
+    p_registry_serve.set_defaults(func=_cmd_registry)
 
     p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
     _add_city_args(p_removal)

@@ -36,6 +36,26 @@ across backends (the oracle contract). Four ship today:
   onto the survivors. See :mod:`repro.sweep.remote` for the wire
   protocol. CLI: ``--backend remote --workers-at host:port,...``.
 
+Trust and topology (remote fabric)
+----------------------------------
+Every remote connection starts with a shared-secret handshake (HMAC
+challenge/response over the framed wire; ``--secret-file`` on both
+ends) that also pins the protocol version — unauthenticated or
+version-mismatched peers are rejected with typed errors before any
+scenario payload is parsed. Workers can be discovered instead of
+enumerated: they register themselves (heartbeat with ``--capacity``,
+cache fingerprint, protocol version) into a registry — a ``repro
+registry serve`` daemon or a JSON file (:mod:`repro.sweep.registry`) —
+and ``repro sweep --backend remote --registry ...`` resolves the live
+roster at sweep start, skips registrants that died (with a warning),
+and backfills workers that join mid-sweep. Sharding is
+capacity-weighted: a ``--capacity 4`` worker receives ~4x the
+scenarios of a capacity-1 worker (:func:`~repro.sweep.backends.
+make_shards` with ``weights``), and rebalancing after a worker death
+respects the survivors' weights. Each outcome records the executing
+worker (``ScenarioOutcome.worker``), so reports expose the
+distribution.
+
 Structured results
 ------------------
 :class:`SweepReport` serializes outcomes to JSON (schema versioned):
@@ -145,6 +165,7 @@ from repro.sweep.backends import (
     ProcessBackend,
     SerialBackend,
     ShardedBackend,
+    apportion,
     execute_shard,
     make_shards,
     resolve_backend,
@@ -173,20 +194,39 @@ from repro.sweep.scenario import (
 )
 from repro.sweep.remote import (
     PROTOCOL_VERSION,
+    RemoteAuthError,
     RemoteBackend,
+    RemoteProtocolError,
     WorkerServer,
+    load_secret,
     parse_worker_addresses,
     ping,
+)
+from repro.sweep.registry import (
+    FileRegistry,
+    Heartbeat,
+    Registry,
+    RegistryServer,
+    TcpRegistry,
+    WorkerRecord,
+    resolve_registry,
+    serve_registry,
 )
 
 __all__ = [
     "BACKEND_NAMES",
     "CacheEntry",
     "ExecutionBackend",
+    "FileRegistry",
+    "Heartbeat",
     "PROTOCOL_VERSION",
     "PrecomputationCache",
     "ProcessBackend",
+    "Registry",
+    "RegistryServer",
+    "RemoteAuthError",
     "RemoteBackend",
+    "RemoteProtocolError",
     "SCHEMA_VERSION",
     "Scenario",
     "ScenarioOutcome",
@@ -197,7 +237,10 @@ __all__ = [
     "StreamWriter",
     "SweepReport",
     "SweepRunner",
+    "TcpRegistry",
+    "WorkerRecord",
     "WorkerServer",
+    "apportion",
     "cache_key",
     "cache_summary",
     "combine_fingerprints",
@@ -209,6 +252,7 @@ __all__ = [
     "expand_grid",
     "failures_summary",
     "load_grid",
+    "load_secret",
     "make_shards",
     "outcome_from_wire_record",
     "outcome_wire_record",
@@ -217,6 +261,7 @@ __all__ = [
     "ping",
     "read_stream",
     "resolve_backend",
+    "resolve_registry",
     "result_from_wire",
     "result_wire_record",
     "scenario_cache_key",
@@ -224,6 +269,7 @@ __all__ = [
     "scenario_key",
     "scenario_record",
     "scenario_spec",
+    "serve_registry",
     "stream_scenario_record",
     "summary_record",
     "sweep_precomputation",

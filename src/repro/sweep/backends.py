@@ -120,14 +120,66 @@ def execute_shard(
     return pairs
 
 
-def make_shards(scenarios, n_shards: int, shard_size: "int | None" = None):
+def apportion(n: int, weights) -> list[int]:
+    """Split an integer ``n`` proportionally to ``weights`` (sum == n).
+
+    Largest-remainder apportionment: every share is the floor of its
+    exact quota, and the leftover units go to the largest fractional
+    parts (ties broken toward the heavier weight, then the lower
+    index), so the result is deterministic and within one of the exact
+    proportion. Shares may be zero when ``n < len(weights)``.
+    """
+    weights = [float(w) for w in weights]
+    if not weights:
+        raise PlanningError("apportion needs at least one weight")
+    if any(w <= 0 for w in weights):
+        raise PlanningError(f"weights must be positive, got {weights}")
+    total = sum(weights)
+    quotas = [n * w / total for w in weights]
+    shares = [int(q) for q in quotas]
+    leftover = n - sum(shares)
+    by_remainder = sorted(
+        range(len(weights)),
+        key=lambda i: (-(quotas[i] - shares[i]), -weights[i], i),
+    )
+    for i in by_remainder[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+def make_shards(
+    scenarios,
+    n_shards: int,
+    shard_size: "int | None" = None,
+    weights=None,
+):
     """Chunk ``scenarios`` into shards of ``(index, scenario)`` pairs.
 
     Scenarios are grouped by ``(city, profile)`` (stably, by original
     index within a group) so shards share their worker's per-process
     dataset cache, then cut into contiguous chunks. ``shard_size``
     overrides the default ``ceil(n / n_shards)``.
+
+    ``weights`` (one positive number per shard, mutually exclusive
+    with ``shard_size``) switches to capacity-weighted apportionment:
+    exactly ``n_shards`` contiguous shards are returned — shard ``i``
+    belongs to worker ``i`` — with sizes proportional to the weights
+    via :func:`apportion`, so a weight-4 worker receives ~4x the
+    scenarios of a weight-1 worker. Unlike the uniform path, shards
+    may be *empty* (small grid, many workers); callers keep the
+    positional shard-to-worker pairing.
     """
+    if weights is not None:
+        weights = list(weights)  # materialize once: generators welcome
+        if shard_size is not None:
+            raise PlanningError(
+                "make_shards takes weights or shard_size, not both "
+                "(weighted apportionment fixes the shard sizes)"
+            )
+        if len(weights) != int(n_shards):
+            raise PlanningError(
+                f"got {len(weights)} weights for {n_shards} shards"
+            )
     if shard_size is not None and int(shard_size) < 1:
         raise PlanningError(
             f"shard_size must be >= 1, got {shard_size} "
@@ -139,6 +191,13 @@ def make_shards(scenarios, n_shards: int, shard_size: "int | None" = None):
         enumerate(scenarios), key=lambda p: (p[1].city, p[1].profile, p[0])
     )
     n = len(indexed)
+    if weights is not None:
+        shards = []
+        start = 0
+        for size in apportion(n, weights):
+            shards.append(indexed[start:start + size])
+            start += size
+        return shards
     if n == 0:
         return []
     if shard_size is None:
@@ -331,13 +390,19 @@ def resolve_backend(
     backend: "str | ExecutionBackend",
     workers: "int | None" = None,
     addresses=None,
+    registry=None,
+    secret=None,
 ) -> ExecutionBackend:
     """Turn a backend name (or instance) into a ready backend.
 
     ``workers`` is forwarded to name-constructed backends that take it
-    and must be >= 1 when given. ``addresses`` — worker addresses as a
-    ``"host:port,host:port"`` string or an iterable of such entries —
-    is required by (and only valid for) the ``remote`` backend. An
+    and must be >= 1 when given. ``addresses`` (worker addresses as a
+    ``"host:port,host:port"`` string or an iterable of such entries)
+    and ``registry`` (a registry spec — ``host:port`` or a JSON file
+    path — or a ready registry object) are the two ways to find remote
+    workers: exactly one is required by, and both are only valid for,
+    the ``remote`` backend. ``secret`` (the shared handshake secret,
+    ``--secret-file`` contents) is likewise remote-only. An
     already-built instance is returned as-is (its own configuration
     wins).
     """
@@ -352,24 +417,45 @@ def resolve_backend(
     if name == REMOTE_BACKEND_NAME:
         from repro.sweep.remote import RemoteBackend, parse_worker_addresses
 
-        if not addresses:
+        if not addresses and registry is None:
             raise PlanningError(
                 "the remote backend needs worker addresses "
-                "(--workers-at host:port,host:port,...)"
+                "(--workers-at host:port,host:port,...) or a registry "
+                "(--registry host:port | path.json)"
+            )
+        if addresses and registry is not None:
+            raise PlanningError(
+                "--workers-at and --registry are mutually exclusive; "
+                "static addresses or discovery, pick one"
             )
         if workers is not None:
-            # Remote parallelism is the address list, nothing else;
-            # accepting-and-ignoring a worker count would be the silent
-            # misconfiguration this resolver exists to catch.
+            # Remote parallelism is the address list / the registry
+            # roster, nothing else; accepting-and-ignoring a worker
+            # count would be the silent misconfiguration this resolver
+            # exists to catch.
             raise PlanningError(
-                "the remote backend takes --workers-at addresses; "
-                "--workers does not apply (repeat an address to "
-                "weight a worker)"
+                "the remote backend takes --workers-at addresses or a "
+                "--registry; --workers does not apply (repeat an "
+                "address, or raise a worker's --capacity, to weight it)"
             )
-        return RemoteBackend(addresses=parse_worker_addresses(addresses))
+        if registry is not None:
+            return RemoteBackend(registry=registry, secret=secret)
+        return RemoteBackend(
+            addresses=parse_worker_addresses(addresses), secret=secret
+        )
     if addresses:
         raise PlanningError(
             f"worker addresses only apply to the "
+            f"{REMOTE_BACKEND_NAME!r} backend, not {name!r}"
+        )
+    if registry is not None:
+        raise PlanningError(
+            f"a worker registry only applies to the "
+            f"{REMOTE_BACKEND_NAME!r} backend, not {name!r}"
+        )
+    if secret is not None:
+        raise PlanningError(
+            f"a shared secret only applies to the "
             f"{REMOTE_BACKEND_NAME!r} backend, not {name!r}"
         )
     try:

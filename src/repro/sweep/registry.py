@@ -1,0 +1,499 @@
+"""Worker registry: discovery and capacity advertisement for sweeps.
+
+PR 4's remote backend required every worker daemon to be enumerated by
+hand (``--workers-at host:port,...``). This module adds the topology
+layer: workers *register themselves* — a heartbeat carrying their
+address, advertised ``capacity`` (the weighted-sharding weight), cache
+directory fingerprint, and wire protocol version — and a sweep resolves
+the live roster at start (``repro sweep --backend remote --registry
+...``), with mid-sweep re-queries backfilling workers that join late.
+
+Two interchangeable registries implement one small contract
+(:class:`Registry`):
+
+* :class:`TcpRegistry` / :class:`RegistryServer` — a ``repro registry
+  serve`` daemon speaking the same authenticated frame protocol as the
+  workers (:mod:`repro.sweep.remote`), for multi-host deployments. The
+  server stamps ``last_seen`` itself, so worker clocks never matter.
+* :class:`FileRegistry` — a JSON file (``--registry path.json``) for
+  single-host use: workers heartbeat into it with atomic replaces, the
+  sweep just reads it. No extra daemon to run.
+
+Records age out after ``ttl`` seconds without a heartbeat (a crashed
+worker disappears from discovery on its own); :class:`Heartbeat` is the
+worker-side loop that keeps a registration fresh and deregisters on
+clean shutdown.
+
+Registry record schema (wire and file form)::
+
+    {"host": "10.0.0.7", "port": 7401, "capacity": 4, "protocol": 2,
+     "cache_fingerprint": "9f2b6c1d3e4a" | null, "last_seen": 1699.25}
+
+The registry ops ride the same handshake-first frame protocol as the
+workers (one shared secret covers the whole fabric)::
+
+    {"op": "register", "protocol": 2, "worker": <record>}
+                                   -> {"op": "registered", "ttl": 30.0}
+    {"op": "deregister", "key": "host:port"}
+                                   -> {"op": "deregistered"}
+    {"op": "workers"}              -> {"op": "workers", "workers": [...]}
+    {"op": "ping"}                 -> {"op": "pong", "role": "registry", ...}
+    {"op": "shutdown"}             -> {"op": "bye"}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.sweep.remote import (
+    DEFAULT_HOST,
+    PROTOCOL_VERSION,
+    FrameServer,
+    RemoteProtocolError,
+    connect_authenticated,
+    recv_frame,
+    send_frame,
+)
+from repro.utils.errors import DataError, PlanningError
+
+DEFAULT_TTL = 30.0
+"""Seconds a registration stays live without a fresh heartbeat."""
+
+DEFAULT_HEARTBEAT = 2.0
+"""Worker-side default interval between registration refreshes."""
+
+DEFAULT_REGISTRY_PORT = 7500
+"""Default TCP port for ``repro registry serve``."""
+
+REGISTRY_SCHEMA_VERSION = 1
+"""File-registry document schema (bump on incompatible layout changes)."""
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """One worker's registration: address, capacity, and provenance."""
+
+    host: str
+    port: int
+    capacity: int = 1
+    protocol: int = PROTOCOL_VERSION
+    cache_fingerprint: "str | None" = None
+    last_seen: float = 0.0
+
+    @property
+    def key(self) -> str:
+        """Registry identity — one record per listening address."""
+        return f"{self.host}:{self.port}"
+
+    def as_record(self) -> dict:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "capacity": self.capacity,
+            "protocol": self.protocol,
+            "cache_fingerprint": self.cache_fingerprint,
+            "last_seen": self.last_seen,
+        }
+
+
+def worker_record_from(spec) -> WorkerRecord:
+    """Validate and rebuild a :class:`WorkerRecord` from its dict form."""
+    if not isinstance(spec, dict):
+        raise DataError(
+            f"worker record must be a mapping, got {type(spec).__name__}"
+        )
+    spec = dict(spec)
+    try:
+        host = str(spec.pop("host"))
+        port = int(spec.pop("port"))
+        capacity = int(spec.pop("capacity", 1))
+        protocol = int(spec.pop("protocol", 0))
+        fingerprint = spec.pop("cache_fingerprint", None)
+        last_seen = float(spec.pop("last_seen", 0.0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"bad worker record: {exc}") from None
+    if spec:
+        raise DataError(f"worker record has unknown keys {sorted(spec)}")
+    if not host:
+        raise DataError("worker record has an empty host")
+    if not 0 < port < 65536:
+        raise DataError(f"worker record port {port} not in [1, 65535]")
+    if capacity < 1:
+        raise DataError(f"worker record capacity must be >= 1, got {capacity}")
+    if fingerprint is not None and not isinstance(fingerprint, str):
+        raise DataError("worker record cache_fingerprint must be a string")
+    return WorkerRecord(
+        host=host, port=port, capacity=capacity, protocol=protocol,
+        cache_fingerprint=fingerprint, last_seen=last_seen,
+    )
+
+
+# ----------------------------------------------------------------------
+# The registry contract
+# ----------------------------------------------------------------------
+class Registry:
+    """What a worker (register) and a sweep (discover) need, no more."""
+
+    def register(self, record: WorkerRecord) -> None:
+        """Upsert a registration; also the heartbeat (refreshes TTL)."""
+        raise NotImplementedError
+
+    def deregister(self, key: str) -> None:
+        """Drop a registration (clean worker shutdown); idempotent."""
+        raise NotImplementedError
+
+    def live_workers(self) -> list:
+        """Registrations younger than the TTL, as :class:`WorkerRecord`."""
+        raise NotImplementedError
+
+
+class FileRegistry(Registry):
+    """File-backed registry for single-host setups: no daemon to run.
+
+    Workers heartbeat by atomically replacing the JSON document
+    (read-modify-``os.replace``), so readers always see a complete
+    file. Concurrent heartbeats may occasionally lose one update to a
+    race; the next beat (every couple of seconds, against a TTL an
+    order of magnitude longer) repairs it, which is the right trade
+    for a zero-infrastructure fallback.
+    """
+
+    def __init__(self, path: str, ttl: float = DEFAULT_TTL):
+        self.path = str(path)
+        self.ttl = float(ttl)
+
+    def __repr__(self) -> str:
+        return f"FileRegistry({self.path!r})"
+
+    # ------------------------------------------------------------------
+    def _read(self) -> dict:
+        try:
+            with open(self.path) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            return {"schema": REGISTRY_SCHEMA_VERSION, "workers": {}}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(
+                f"registry file {self.path!r} is unreadable: {exc}"
+            ) from None
+        if (
+            not isinstance(doc, dict)
+            or not isinstance(doc.get("workers"), dict)
+        ):
+            raise DataError(
+                f"registry file {self.path!r} is not a registry document"
+            )
+        if doc.get("schema") != REGISTRY_SCHEMA_VERSION:
+            raise DataError(
+                f"registry file {self.path!r} has schema "
+                f"{doc.get('schema')!r}; this build reads schema "
+                f"{REGISTRY_SCHEMA_VERSION}"
+            )
+        return doc
+
+    def _write(self, doc: dict) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".registry-")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(doc, f, indent=2)
+                f.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def register(self, record: WorkerRecord) -> None:
+        doc = self._read()
+        stamped = replace(record, last_seen=time.time())
+        doc["workers"][stamped.key] = stamped.as_record()
+        self._write(doc)
+
+    def deregister(self, key: str) -> None:
+        doc = self._read()
+        if doc["workers"].pop(str(key), None) is not None:
+            self._write(doc)
+
+    def live_workers(self) -> list:
+        cutoff = time.time() - self.ttl
+        return [
+            record
+            for record in (
+                worker_record_from(spec)
+                for spec in self._read()["workers"].values()
+            )
+            if record.last_seen >= cutoff
+        ]
+
+
+class TcpRegistry(Registry):
+    """Client for a ``repro registry serve`` daemon (one op per call).
+
+    Connections are per-operation — a registry op is a heartbeat-scale
+    event, not a stream — and every connection runs the shared
+    handshake, so the registry is covered by the same secret as the
+    workers.
+    """
+
+    def __init__(self, address, secret=None, timeout: float = 5.0):
+        from repro.sweep.remote import parse_worker_addresses
+
+        self.address = next(iter(parse_worker_addresses([address])))
+        self.secret = secret
+        self.timeout = float(timeout)
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"TcpRegistry({host}:{port})"
+
+    # ------------------------------------------------------------------
+    def _call(self, request: dict, expect: str) -> dict:
+        host, port = self.address
+        with connect_authenticated(
+            self.address, self.secret, self.timeout,
+            peer=f"registry {host}:{port}",
+        ) as sock:
+            send_frame(sock, request)
+            reply = recv_frame(sock)
+        if reply is None:
+            raise RemoteProtocolError(
+                f"registry {host}:{port} closed without answering"
+            )
+        if reply.get("op") == "error":
+            raise RemoteProtocolError(
+                f"registry {host}:{port}: {reply.get('error')}"
+            )
+        if reply.get("op") != expect:
+            raise RemoteProtocolError(
+                f"registry {host}:{port} answered op {reply.get('op')!r} "
+                f"to a {request.get('op')!r}"
+            )
+        return reply
+
+    def register(self, record: WorkerRecord) -> None:
+        self._call({
+            "op": "register",
+            "protocol": PROTOCOL_VERSION,
+            "worker": record.as_record(),
+        }, expect="registered")
+
+    def deregister(self, key: str) -> None:
+        self._call({"op": "deregister", "key": str(key)}, expect="deregistered")
+
+    def live_workers(self) -> list:
+        reply = self._call({"op": "workers"}, expect="workers")
+        entries = reply.get("workers")
+        if not isinstance(entries, list):
+            raise RemoteProtocolError(
+                f"registry answered a workers op without a worker list "
+                f"({type(entries).__name__})"
+            )
+        return [worker_record_from(spec) for spec in entries]
+
+
+class RegistryServer(FrameServer):
+    """The ``repro registry serve`` daemon: an in-memory worker roster.
+
+    Registrations are upserted by worker address and stamped with the
+    *server's* clock (worker clock skew cannot fake liveness); entries
+    older than ``ttl`` are pruned on every read and register, so a
+    crashed worker ages out without any explicit deregistration.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        secret=None,
+        ttl: float = DEFAULT_TTL,
+    ):
+        ttl = float(ttl)
+        if ttl <= 0:
+            raise PlanningError(f"registry ttl must be > 0, got {ttl}")
+        super().__init__(host=host, port=port, secret=secret)
+        self.ttl = ttl
+        self._workers: dict = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.ttl
+        for key in [
+            k for k, rec in self._workers.items() if rec.last_seen < cutoff
+        ]:
+            del self._workers[key]
+
+    def live_workers(self) -> list:
+        with self._lock:
+            self._prune(time.time())
+            return list(self._workers.values())
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.live_workers())
+
+    # ------------------------------------------------------------------
+    def handle_op(self, conn, frame: dict) -> bool:
+        op = frame.get("op")
+        if op == "ping":
+            send_frame(conn, {
+                "op": "pong",
+                "protocol": PROTOCOL_VERSION,
+                "role": "registry",
+                "pid": os.getpid(),
+                "ttl": self.ttl,
+                "n_workers": self.n_workers,
+            })
+            return True
+        if op == "shutdown":
+            send_frame(conn, {"op": "bye"})
+            self.shutdown()
+            return False
+        if op == "register":
+            try:
+                record = worker_record_from(frame.get("worker"))
+            except DataError as exc:
+                send_frame(conn, {"op": "error", "error": str(exc)})
+                return False
+            now = time.time()
+            with self._lock:
+                self._prune(now)
+                self._workers[record.key] = replace(record, last_seen=now)
+            send_frame(conn, {"op": "registered", "ttl": self.ttl})
+            return True
+        if op == "deregister":
+            key = str(frame.get("key"))
+            with self._lock:
+                self._workers.pop(key, None)
+            send_frame(conn, {"op": "deregistered"})
+            return True
+        if op == "workers":
+            workers = self.live_workers()
+            send_frame(conn, {
+                "op": "workers",
+                "workers": [record.as_record() for record in workers],
+            })
+            return True
+        send_frame(conn, {"op": "error", "error": f"unknown op {op!r}"})
+        return False
+
+
+def serve_registry(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    secret=None,
+    ttl: float = DEFAULT_TTL,
+) -> RegistryServer:
+    """Bind a :class:`RegistryServer` (CLI helper; caller serves/loops)."""
+    try:
+        return RegistryServer(host=host, port=port, secret=secret, ttl=ttl)
+    except OSError as exc:
+        raise PlanningError(
+            f"cannot bind registry to {host}:{port}: {exc}"
+        ) from None
+
+
+def resolve_registry(spec, secret=None, ttl: float = DEFAULT_TTL) -> Registry:
+    """Turn a ``--registry`` spec into a ready :class:`Registry`.
+
+    ``host:port`` (a name or address with a numeric port and no path
+    separator) means a :class:`TcpRegistry`; anything else is a
+    :class:`FileRegistry` path. Ready :class:`Registry` instances (and
+    a live :class:`RegistryServer`, which already implements
+    ``live_workers``) pass through untouched.
+    """
+    if isinstance(spec, Registry):
+        return spec
+    if isinstance(spec, RegistryServer):
+        return spec
+    if spec is None:
+        raise PlanningError("no registry given (host:port or path.json)")
+    spec = str(spec)
+    host, _, port = spec.rpartition(":")
+    if host and port.isdigit() and "/" not in spec and os.sep not in spec:
+        return TcpRegistry((host, int(port)), secret=secret)
+    return FileRegistry(spec, ttl=ttl)
+
+
+# ----------------------------------------------------------------------
+# Worker-side registration loop
+# ----------------------------------------------------------------------
+class Heartbeat:
+    """Keep one worker's registration fresh; deregister on stop.
+
+    ``record_source`` is a zero-argument callable returning the
+    :class:`WorkerRecord` to publish (re-evaluated every beat, so a
+    record can reflect live state) — or a ready record. :meth:`start`
+    performs the first registration synchronously and raises
+    :class:`PlanningError` if the registry is unreachable, so a typo'd
+    ``--registry`` surfaces at worker startup instead of silently
+    never registering; later beats swallow transient failures (the
+    registry being briefly down must not kill the worker) and remember
+    the latest one in :attr:`last_error`.
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        record_source,
+        interval: float = DEFAULT_HEARTBEAT,
+    ):
+        interval = float(interval)
+        if interval <= 0:
+            raise PlanningError(
+                f"heartbeat interval must be > 0, got {interval}"
+            )
+        self.registry = registry
+        self._record_source = (
+            record_source if callable(record_source) else lambda: record_source
+        )
+        self.interval = interval
+        self.last_error: "str | None" = None
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    def beat(self) -> bool:
+        """One registration refresh; ``False`` (and ``last_error``) on failure."""
+        try:
+            self.registry.register(self._record_source())
+        except Exception as exc:  # noqa: BLE001 — transient registry
+            # outages must not kill the worker's heartbeat loop.
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
+        self.last_error = None
+        return True
+
+    def start(self) -> threading.Thread:
+        try:
+            self.registry.register(self._record_source())
+        except (OSError, RemoteProtocolError, DataError) as exc:
+            raise PlanningError(
+                f"cannot register with registry {self.registry!r}: {exc}"
+            ) from None
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat()
+
+    def stop(self, deregister: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if deregister:
+            try:
+                self.registry.deregister(self._record_source().key)
+            except Exception:  # noqa: BLE001 — best-effort goodbye
+                pass

@@ -11,16 +11,40 @@ Wire protocol (version :data:`PROTOCOL_VERSION`)
 ------------------------------------------------
 Frames are length-prefixed JSON: a 4-byte big-endian payload length
 followed by that many bytes of UTF-8 JSON (one object per frame,
-:data:`MAX_FRAME_BYTES` cap). Conversation, client side first::
+:data:`MAX_FRAME_BYTES` cap).
 
-    {"op": "run", "protocol": 1, "base_config": {...}|null,
+Every connection starts with a **handshake** — the daemon speaks first,
+so version mismatches and authentication failures surface before any
+request payload exists to parse::
+
+    daemon: {"op": "challenge", "protocol": 2, "nonce": <hex>,
+             "auth": true|false}
+    client: {"op": "auth", "protocol": 2, "mac": HMAC-SHA256(secret,
+             nonce) | null}
+    daemon: {"op": "welcome", "protocol": 2}
+            — or {"op": "error", "error": msg} and the connection drops.
+
+``auth`` advertises whether the daemon was started with a shared
+secret (``--secret-file``). When it was, the client must answer the
+nonce with an HMAC-SHA256 of it under the same secret; anything else —
+missing ``mac``, wrong secret, a request frame in place of the ``auth``
+frame — is rejected with a typed error **before any scenario payload
+is parsed**, and nothing executes. Auth rejections carry
+``"code": "auth"`` in the error frame (the machine-readable
+discriminator behind :class:`RemoteAuthError`; the message text is
+free to change). When the daemon has no secret the handshake still
+runs (it carries the version check) but ``mac`` may be ``null``.
+
+After ``welcome``, the conversation proper (client side first)::
+
+    {"op": "run", "protocol": 2, "base_config": {...}|null,
      "scenarios": [{"index": 3, "scenario": <scenario_spec>}, ...]}
                                     -> {"op": "outcome", "index": 3,
                                         "record": <outcome_wire_record>}
                                        ... one frame per scenario,
                                        streamed as each finishes ...
                                     -> {"op": "done", "n_executed": N}
-    {"op": "ping"}                  -> {"op": "pong", "protocol": 1, ...}
+    {"op": "ping"}                  -> {"op": "pong", "protocol": 2, ...}
     {"op": "shutdown"}              -> {"op": "bye"}   (daemon exits)
 
 ``scenario`` payloads are :func:`~repro.sweep.scenario.scenario_spec`
@@ -31,6 +55,33 @@ record schema plus a lossless ``results_wire`` twin. A server that
 cannot serve a request answers ``{"op": "error", "error": msg}`` and
 drops the connection.
 
+Worker topology
+---------------
+Workers are found one of two ways:
+
+* **Static addresses** (``--workers-at host:port,...``) — the PR 4
+  path, unchanged; every address gets weight 1 unless explicit
+  ``weights`` are supplied (repeating an address still works).
+* **Registry discovery** (``--registry host:port`` or
+  ``--registry path.json``) — workers register themselves (heartbeat
+  with capacity, cache-dir fingerprint, and protocol version; see
+  :mod:`repro.sweep.registry`) and the backend resolves the live
+  roster at sweep start. Workers that registered but died are
+  ping-checked and skipped with a warning; a mid-sweep re-query
+  (every ``registry_poll`` seconds) backfills workers that join late,
+  and after every known worker has died the sweep stays open for
+  ``registry_grace`` seconds before giving up, so a replacement
+  worker can still rescue it.
+
+**Capacity-weighted sharding:** the initial distribution cuts the grid
+into one contiguous shard per worker with sizes proportional to worker
+weight (a ``--capacity 4`` worker receives ~4x the scenarios of a
+capacity-1 worker); work requeued by a dead worker is pulled by the
+survivors in chunks proportional to their share of the surviving
+weight. An explicit ``shard_size`` switches to uniform fine-grained
+chunks pulled from a shared queue (tighter rebalancing, more round
+trips) and disables the weighted initial split.
+
 Failure semantics and rebalancing
 ---------------------------------
 Two distinct failure domains:
@@ -39,15 +90,16 @@ Two distinct failure domains:
   :class:`~repro.sweep.backends.ShardedBackend`: a raising scenario
   becomes a failure outcome frame (``error`` set, empty results) and
   the rest of the shard still runs.
-* **Worker failures** (connection refused, dropped mid-stream, protocol
-  errors) kill only that worker's thread: outcomes already streamed
-  back stay committed, the shard's *unfinished* scenarios are requeued
-  and picked up by the surviving workers, and the dead worker is not
-  retried within the run. Only when every worker is dead with scenarios
-  still unfinished does ``run`` raise — and since streamed outcomes
-  were already delivered to ``on_outcome``, a ``--stream`` file keeps
-  its committed prefix and ``--resume`` finishes the sweep once workers
-  are back.
+* **Worker failures** (connection refused, dropped mid-stream, failed
+  handshake, protocol errors) kill only that worker's thread: outcomes
+  already streamed back stay committed, the shard's *unfinished*
+  scenarios are requeued and picked up by the surviving workers, and
+  the dead worker is not retried within the run. Only when every
+  worker is dead with scenarios still unfinished (and, with a
+  registry, no replacement joins within the grace window) does ``run``
+  raise — and since streamed outcomes were already delivered to
+  ``on_outcome``, a ``--stream`` file keeps its committed prefix and
+  ``--resume`` finishes the sweep once workers are back.
 
 Cache locality: each daemon uses its **own** ``--cache-dir`` (the
 parent's is not shipped); daemons on one machine may share a directory
@@ -56,12 +108,16 @@ parent's is not shipped); daemons on one machine may share a directory
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import os
 import queue
 import socket
 import struct
 import threading
+import time
+import warnings
 from dataclasses import asdict, dataclass
 
 from repro.core.config import PlannerConfig
@@ -71,8 +127,14 @@ from repro.sweep.runner import ScenarioOutcome, execute_scenario
 from repro.sweep.scenario import scenario_from_spec, scenario_spec
 from repro.utils.errors import PlanningError
 
-PROTOCOL_VERSION = 1
-"""Bump on backwards-incompatible wire changes (frames carry it)."""
+PROTOCOL_VERSION = 2
+"""Bump on backwards-incompatible wire changes (frames carry it).
+
+Version history: 1 — length-prefixed JSON frames, ``run``/``ping``/
+``shutdown`` ops; 2 — mandatory handshake (HMAC challenge/response
+when the daemon holds a shared secret) before any op, registry
+``register``/``deregister``/``workers`` ops.
+"""
 
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 """Upper bound on one frame's JSON payload; anything larger is treated
@@ -82,9 +144,52 @@ DEFAULT_HOST = "127.0.0.1"
 
 _LENGTH = struct.Struct(">I")
 
+_NONCE_BYTES = 16
+
 
 class RemoteProtocolError(Exception):
     """The peer spoke something that is not this wire protocol."""
+
+
+class RemoteAuthError(RemoteProtocolError):
+    """The handshake failed on the shared secret, not the plumbing."""
+
+
+# ----------------------------------------------------------------------
+# Shared secrets
+# ----------------------------------------------------------------------
+def load_secret(path: str) -> bytes:
+    """Read a shared secret file (``--secret-file``); whitespace-trimmed.
+
+    The secret is opaque bytes — any non-empty file works. Errors are
+    :class:`PlanningError` so the CLI reports them as usage errors
+    (exit 2) instead of tracebacks.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        raise PlanningError(f"cannot read secret file {path!r}: {exc}") from None
+    secret = data.strip()
+    if not secret:
+        raise PlanningError(f"secret file {path!r} is empty")
+    return secret
+
+
+def _as_secret(secret) -> "bytes | None":
+    """Normalize a secret to bytes (``None`` stays ``None``)."""
+    if secret is None:
+        return None
+    if isinstance(secret, str):
+        secret = secret.encode("utf-8")
+    if not secret:
+        raise PlanningError("shared secret must be non-empty")
+    return bytes(secret)
+
+
+def auth_mac(secret: bytes, nonce: str) -> str:
+    """The handshake response: hex HMAC-SHA256 of the nonce."""
+    return hmac.new(secret, nonce.encode("utf-8"), hashlib.sha256).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -101,17 +206,25 @@ def send_frame(sock: socket.socket, obj: dict) -> None:
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> "bytes | None":
-    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+def _recv_exact(
+    sock: socket.socket, n: int, what: str = "frame",
+    allow_eof: bool = False,
+) -> "bytes | None":
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary.
+
+    EOF anywhere else fails fast with a :class:`RemoteProtocolError`
+    naming the byte count — a half-read frame must never surface as a
+    bare ``EOFError`` or a silently-short buffer from the socket layer.
+    """
     chunks = []
     got = 0
     while got < n:
         chunk = sock.recv(min(n - got, 1 << 20))
         if not chunk:
-            if got == 0:
+            if got == 0 and allow_eof:
                 return None
             raise RemoteProtocolError(
-                f"connection closed mid-frame ({got} of {n} bytes)"
+                f"connection closed mid-frame ({got} of {n} {what} bytes)"
             )
         chunks.append(chunk)
         got += len(chunk)
@@ -119,8 +232,13 @@ def _recv_exact(sock: socket.socket, n: int) -> "bytes | None":
 
 
 def recv_frame(sock: socket.socket) -> "dict | None":
-    """Read one frame; ``None`` when the peer closed between frames."""
-    header = _recv_exact(sock, _LENGTH.size)
+    """Read one frame; ``None`` when the peer closed between frames.
+
+    A peer that closes mid-frame — inside the length prefix or inside
+    the promised payload — raises :class:`RemoteProtocolError` naming
+    how many of the expected bytes arrived.
+    """
+    header = _recv_exact(sock, _LENGTH.size, "header", allow_eof=True)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
@@ -129,9 +247,7 @@ def recv_frame(sock: socket.socket) -> "dict | None":
             f"frame header claims {length} bytes (cap {MAX_FRAME_BYTES}); "
             f"peer is not speaking this protocol"
         )
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise RemoteProtocolError("connection closed before frame payload")
+    payload = _recv_exact(sock, length, "payload")
     try:
         frame = json.loads(payload.decode("utf-8"))
         if not isinstance(frame, dict):
@@ -139,6 +255,144 @@ def recv_frame(sock: socket.socket) -> "dict | None":
     except (ValueError, UnicodeDecodeError) as exc:
         raise RemoteProtocolError(f"bad frame payload: {exc}") from None
     return frame
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def server_handshake(conn: socket.socket, secret: "bytes | None") -> bool:
+    """Run the daemon side of the handshake; ``False`` = drop the peer.
+
+    Sends the challenge, validates the ``auth`` answer (protocol
+    version, then the HMAC when ``secret`` is set), and confirms with
+    ``welcome``. Every rejection answers a typed ``error`` frame first
+    (best effort) so the peer knows *why* — and no request payload is
+    ever parsed from an unauthenticated connection.
+    """
+    nonce = os.urandom(_NONCE_BYTES).hex()
+    send_frame(conn, {
+        "op": "challenge",
+        "protocol": PROTOCOL_VERSION,
+        "nonce": nonce,
+        "auth": secret is not None,
+    })
+    frame = recv_frame(conn)
+    if frame is None:
+        return False  # mid-handshake disconnect: drop quietly
+    op = frame.get("op")
+    if op != "auth":
+        send_frame(conn, {
+            "op": "error",
+            "error": f"handshake expected an 'auth' frame, got op {op!r}",
+        })
+        return False
+    protocol = frame.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        send_frame(conn, {
+            "op": "error",
+            "error": f"protocol {protocol!r} not supported; this daemon "
+                     f"speaks protocol {PROTOCOL_VERSION}",
+        })
+        return False
+    if secret is not None:
+        mac = frame.get("mac")
+        expected = auth_mac(secret, nonce)
+        if not isinstance(mac, str) or not hmac.compare_digest(mac, expected):
+            send_frame(conn, {
+                "op": "error",
+                # "code" is the machine-readable contract clients branch
+                # on (RemoteAuthError vs RemoteProtocolError); the text
+                # is free to change.
+                "code": "auth",
+                "error": "authentication failed: wrong or missing "
+                         "shared secret",
+            })
+            return False
+    send_frame(conn, {"op": "welcome", "protocol": PROTOCOL_VERSION})
+    return True
+
+
+def client_handshake(
+    sock: socket.socket, secret: "bytes | None" = None, peer: str = "daemon"
+) -> dict:
+    """Run the client side of the handshake; returns the welcome frame.
+
+    Raises :class:`RemoteAuthError` for secret problems (daemon wants
+    auth and we have no secret, or it rejected ours) and
+    :class:`RemoteProtocolError` for version mismatches and everything
+    else that is not this protocol.
+    """
+    challenge = recv_frame(sock)
+    if challenge is None:
+        raise RemoteProtocolError(
+            f"{peer} closed the connection before the handshake challenge"
+        )
+    op = challenge.get("op")
+    if op == "error":
+        raise RemoteProtocolError(f"{peer} refused: {challenge.get('error')}")
+    if op != "challenge":
+        raise RemoteProtocolError(
+            f"{peer} opened with op {op!r} instead of a handshake "
+            f"challenge (protocol {PROTOCOL_VERSION})"
+        )
+    protocol = challenge.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        raise RemoteProtocolError(
+            f"protocol version mismatch: {peer} speaks {protocol!r}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    nonce = challenge.get("nonce")
+    if not isinstance(nonce, str) or not nonce:
+        raise RemoteProtocolError(f"{peer} sent a challenge without a nonce")
+    if challenge.get("auth") and secret is None:
+        raise RemoteAuthError(
+            f"{peer} requires authentication; supply the shared secret "
+            f"(--secret-file)"
+        )
+    mac = auth_mac(secret, nonce) if secret is not None else None
+    send_frame(sock, {"op": "auth", "protocol": PROTOCOL_VERSION, "mac": mac})
+    reply = recv_frame(sock)
+    if reply is None:
+        raise RemoteAuthError(
+            f"{peer} dropped the connection during authentication"
+        )
+    if reply.get("op") == "error":
+        error = str(reply.get("error"))
+        # The "code" field is the stable discriminator; the substring
+        # check keeps auth errors typed against daemons that predate it.
+        if reply.get("code") == "auth" or "authentication" in error:
+            raise RemoteAuthError(f"{peer}: {error}")
+        raise RemoteProtocolError(f"{peer}: {error}")
+    if reply.get("op") != "welcome":
+        raise RemoteProtocolError(
+            f"{peer} answered the handshake with op {reply.get('op')!r}"
+        )
+    return reply
+
+
+def connect_authenticated(
+    address,
+    secret: "bytes | None" = None,
+    timeout: float = 10.0,
+    peer: "str | None" = None,
+) -> socket.socket:
+    """Connect to ``(host, port)`` and complete the handshake.
+
+    The connect timeout also bounds the handshake reads, so a peer
+    speaking an older, client-talks-first protocol (which would wait
+    for us forever) surfaces as a timeout instead of a deadlock. The
+    returned socket still carries that timeout; callers streaming
+    long-running jobs should ``settimeout(None)`` afterwards.
+    """
+    host, port = address
+    peer = peer or f"daemon {host}:{port}"
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        client_handshake(sock, secret, peer=peer)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
 
 
 # ----------------------------------------------------------------------
@@ -190,51 +444,44 @@ def format_address(address) -> str:
     return f"{host}:{port}"
 
 
-def ping(address, timeout: float = 5.0) -> dict:
-    """Health-check one worker daemon; returns its ``pong`` frame."""
+def ping(address, timeout: float = 5.0, secret=None) -> dict:
+    """Health-check one daemon (handshake included); returns its pong."""
     host, port = next(iter(parse_worker_addresses([address])))
-    with socket.create_connection((host, port), timeout=timeout) as sock:
+    with connect_authenticated(
+        (host, port), _as_secret(secret), timeout,
+        peer=f"daemon {host}:{port}",
+    ) as sock:
         send_frame(sock, {"op": "ping"})
         frame = recv_frame(sock)
     if frame is None or frame.get("op") != "pong":
         raise RemoteProtocolError(
-            f"worker {host}:{port} answered {frame!r} to a ping"
+            f"daemon {host}:{port} answered {frame!r} to a ping"
         )
     return frame
 
 
 # ----------------------------------------------------------------------
-# Worker daemon
+# Frame-protocol daemons
 # ----------------------------------------------------------------------
-class WorkerServer:
-    """The ``repro worker serve`` daemon: executes sweep jobs over TCP.
+class FrameServer:
+    """Shared skeleton of the frame-protocol daemons.
 
-    One listening socket, one handler thread per connection; scenarios
-    within a job run serially through :func:`execute_scenario` against
-    this daemon's local :class:`~repro.sweep.cache.PrecomputationCache`
-    (``cache_dir=None`` disables caching). Per-scenario failures are
-    isolated into failure outcome frames; only protocol violations drop
-    a connection.
+    One listening socket, one handler thread per connection; every
+    connection runs :func:`server_handshake` first (version check +
+    shared-secret HMAC when ``secret`` is set), so subclasses only see
+    authenticated frames in :meth:`handle_op`. Protocol violations and
+    vanished peers drop the connection; the accept loop never dies
+    with them.
 
     ``port=0`` binds an ephemeral port; the resolved address is in
     :attr:`host` / :attr:`port` before :meth:`serve_forever` is called,
     so tests and scripts can start daemons without picking ports.
-
-    ``fail_after_frames`` is a failure-injection hook for the rebalance
-    and resume tests: every connection is dropped abruptly (no ``done``
-    frame) after streaming that many outcome frames, which looks to the
-    client exactly like a worker killed mid-shard.
     """
 
     def __init__(
-        self,
-        host: str = DEFAULT_HOST,
-        port: int = 0,
-        cache_dir: "str | None" = None,
-        fail_after_frames: "int | None" = None,
+        self, host: str = DEFAULT_HOST, port: int = 0, secret=None
     ):
-        self.cache_dir = str(cache_dir) if cache_dir else None
-        self.fail_after_frames = fail_after_frames
+        self.secret = _as_secret(secret)
         self._shutdown = threading.Event()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -278,32 +525,110 @@ class WorkerServer:
     def _handle(self, conn: socket.socket) -> None:
         with conn:
             try:
+                if not server_handshake(conn, self.secret):
+                    return
                 while True:
                     frame = recv_frame(conn)
                     if frame is None:
                         return
-                    op = frame.get("op")
-                    if op == "ping":
-                        send_frame(conn, {
-                            "op": "pong",
-                            "protocol": PROTOCOL_VERSION,
-                            "pid": os.getpid(),
-                            "cache_dir": self.cache_dir,
-                        })
-                    elif op == "shutdown":
-                        send_frame(conn, {"op": "bye"})
-                        self.shutdown()
-                        return
-                    elif op == "run":
-                        if not self._run_job(conn, frame):
-                            return
-                    else:
-                        send_frame(conn, {
-                            "op": "error", "error": f"unknown op {op!r}",
-                        })
+                    if not self.handle_op(conn, frame):
                         return
             except (OSError, RemoteProtocolError):
                 return  # client went away or spoke garbage; drop it
+
+    def handle_op(self, conn: socket.socket, frame: dict) -> bool:
+        """Serve one authenticated frame; ``False`` closes the peer."""
+        raise NotImplementedError
+
+
+class WorkerServer(FrameServer):
+    """The ``repro worker serve`` daemon: executes sweep jobs over TCP.
+
+    Scenarios within a job run serially through
+    :func:`execute_scenario` against this daemon's local
+    :class:`~repro.sweep.cache.PrecomputationCache` (``cache_dir=None``
+    disables caching). Per-scenario failures are isolated into failure
+    outcome frames; only protocol violations drop a connection.
+
+    ``capacity`` is the weight this worker advertises to registries and
+    pings — a capacity-4 worker receives ~4x the scenarios of a
+    capacity-1 worker under weighted sharding. ``advertise_host``
+    overrides the host workers publish when registering (needed when
+    binding ``0.0.0.0``).
+
+    ``fail_after_frames`` is a failure-injection hook for the rebalance
+    and resume tests: every connection is dropped abruptly (no ``done``
+    frame) after streaming that many outcome frames, which looks to the
+    client exactly like a worker killed mid-shard.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        cache_dir: "str | None" = None,
+        fail_after_frames: "int | None" = None,
+        secret=None,
+        capacity: int = 1,
+        advertise_host: "str | None" = None,
+    ):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise PlanningError(
+                f"worker capacity must be >= 1, got {capacity}"
+            )
+        super().__init__(host=host, port=port, secret=secret)
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.capacity = capacity
+        self.advertise_host = advertise_host or self.host
+        self.fail_after_frames = fail_after_frames
+
+    # ------------------------------------------------------------------
+    def cache_fingerprint(self) -> "str | None":
+        """Short identity of this worker's cache directory (or None).
+
+        Hashes the *resolved path*, not the contents: two daemons with
+        equal fingerprints share one artifact store, which is what a
+        scheduler wants to know when placing cache-hot work.
+        """
+        if self.cache_dir is None:
+            return None
+        path = os.path.realpath(os.path.abspath(self.cache_dir))
+        return hashlib.sha256(path.encode("utf-8")).hexdigest()[:12]
+
+    def worker_record(self):
+        """This worker's registry record (registration/heartbeat body)."""
+        from repro.sweep.registry import WorkerRecord
+
+        return WorkerRecord(
+            host=self.advertise_host,
+            port=self.port,
+            capacity=self.capacity,
+            protocol=PROTOCOL_VERSION,
+            cache_fingerprint=self.cache_fingerprint(),
+        )
+
+    # ------------------------------------------------------------------
+    def handle_op(self, conn: socket.socket, frame: dict) -> bool:
+        op = frame.get("op")
+        if op == "ping":
+            send_frame(conn, {
+                "op": "pong",
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "cache_dir": self.cache_dir,
+                "capacity": self.capacity,
+                "cache_fingerprint": self.cache_fingerprint(),
+            })
+            return True
+        if op == "shutdown":
+            send_frame(conn, {"op": "bye"})
+            self.shutdown()
+            return False
+        if op == "run":
+            return self._run_job(conn, frame)
+        send_frame(conn, {"op": "error", "error": f"unknown op {op!r}"})
+        return False
 
     def _run_job(self, conn: socket.socket, frame: dict) -> bool:
         """Execute one job, streaming outcome frames; False = close."""
@@ -351,11 +676,19 @@ class WorkerServer:
 
 
 def serve_worker(
-    host: str = DEFAULT_HOST, port: int = 0, cache_dir: "str | None" = None
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    cache_dir: "str | None" = None,
+    secret=None,
+    capacity: int = 1,
+    advertise_host: "str | None" = None,
 ) -> WorkerServer:
     """Bind a :class:`WorkerServer` (CLI helper; caller serves/loops)."""
     try:
-        return WorkerServer(host=host, port=port, cache_dir=cache_dir)
+        return WorkerServer(
+            host=host, port=port, cache_dir=cache_dir, secret=secret,
+            capacity=capacity, advertise_host=advertise_host,
+        )
     except OSError as exc:
         raise PlanningError(
             f"cannot bind worker to {host}:{port}: {exc}"
@@ -366,24 +699,57 @@ def serve_worker(
 # The backend
 # ----------------------------------------------------------------------
 class _WorkQueue:
-    """Shards pending execution, safe for requeueing on worker death.
+    """Pending work + live-worker weights, safe for requeue on death.
 
-    ``get`` blocks while the queue is empty but some worker is still
-    mid-shard — that worker's death may requeue its leftovers — and
-    returns ``None`` only once no shard can ever arrive again.
+    Work reaches drivers two ways: each worker's capacity-weighted
+    *initial shard* is handed to its driver directly (those shards are
+    pre-counted via ``initial_active``), and everything else — work
+    requeued by a dead worker, or the whole grid when a fine-grained
+    ``chunk_size`` is set — sits in ``pending`` and is pulled by
+    :meth:`get` in chunks proportional to the puller's share of the
+    surviving weight. ``get`` blocks while the queue is empty but some
+    worker is still mid-shard — that worker's death may requeue its
+    leftovers — and returns ``None`` only once no work can ever arrive
+    again.
     """
 
-    def __init__(self, shards):
-        self._shards = list(shards)
-        self._active = 0
+    def __init__(self, pending, chunk_size=None, initial_active=0):
+        self._pending = list(pending)
+        self._chunk_size = None if chunk_size is None else int(chunk_size)
+        self._weights: dict = {}
+        self._active = int(initial_active)
         self._cond = threading.Condition()
 
-    def get(self):
+    def add_worker(self, worker_id, weight) -> None:
+        with self._cond:
+            self._weights[worker_id] = max(int(weight), 1)
+            self._cond.notify_all()
+
+    def retire(self, worker_id) -> None:
+        """Drop a dead worker's weight from future chunk sizing."""
+        with self._cond:
+            self._weights.pop(worker_id, None)
+            self._cond.notify_all()
+
+    def _chunk_for(self, worker_id) -> int:
+        if self._chunk_size is not None:
+            return self._chunk_size
+        weight = self._weights.get(worker_id, 1)
+        total = sum(self._weights.values()) or weight
+        # Ceil of this worker's weighted share of what is pending: a
+        # capacity-4 survivor absorbs ~4x a capacity-1 survivor's part
+        # of a dead worker's requeued scenarios.
+        return max(1, -(-len(self._pending) * weight // total))
+
+    def get(self, worker_id):
         with self._cond:
             while True:
-                if self._shards:
+                if self._pending:
+                    take = self._chunk_for(worker_id)
+                    chunk = self._pending[:take]
+                    del self._pending[:take]
                     self._active += 1
-                    return self._shards.pop(0)
+                    return chunk
                 if self._active == 0:
                     return None
                 self._cond.wait(timeout=0.1)
@@ -392,14 +758,14 @@ class _WorkQueue:
         with self._cond:
             self._active -= 1
             if requeue:
-                self._shards.append(list(requeue))
+                self._pending.extend(requeue)
             self._cond.notify_all()
 
     def drain(self):
         """Whatever never ran (after all workers died)."""
         with self._cond:
-            leftovers = [pair for shard in self._shards for pair in shard]
-            self._shards.clear()
+            leftovers = list(self._pending)
+            self._pending.clear()
             return leftovers
 
 
@@ -407,20 +773,33 @@ class _WorkQueue:
 class RemoteBackend(ExecutionBackend):
     """Execute a sweep on ``repro worker serve`` daemons over TCP.
 
-    The grid is cut into :func:`~repro.sweep.backends.make_shards`
-    chunks (one per worker by default; ``shard_size`` sets a finer
-    granularity, which tightens rebalancing at the cost of more
-    round-trips) and each worker streams outcome frames back as its
-    scenarios finish. ``on_outcome`` fires in the parent — from the
-    caller's thread, serialized — so ``--stream``/``--resume`` work
-    unchanged. Scenario failures are isolated worker-side; a worker
-    that dies mid-shard has its unfinished scenarios rebalanced onto
-    the survivors (see the module docstring for the full rules).
+    Workers come from static ``addresses`` (optionally with parallel
+    integer ``weights``; default weight 1 each) or from a ``registry``
+    (a ``host:port`` / ``path.json`` spec or a ready
+    :class:`~repro.sweep.registry.Registry`), which is queried at run
+    start — dead registrants ping-checked and skipped with a warning —
+    and re-queried every ``registry_poll`` seconds mid-sweep to
+    backfill late joiners. ``secret`` is the shared handshake secret
+    (see :func:`load_secret`).
 
-    ``connect_timeout`` bounds connection establishment only; once a
-    job is streaming there is no read deadline (scenarios may
-    legitimately take minutes), so a hung-but-connected worker stalls
-    the run — kill the daemon to trigger rebalancing.
+    The grid's initial distribution is one contiguous
+    :func:`~repro.sweep.backends.make_shards` shard per worker, sized
+    proportionally to worker weight; each worker streams outcome
+    frames back as its scenarios finish, and every outcome is stamped
+    with the executing worker (``ScenarioOutcome.worker``).
+    ``shard_size`` switches to uniform queue-pulled chunks (tighter
+    rebalancing at the cost of more round-trips, no weighted split).
+    ``on_outcome`` fires in the parent — from the caller's thread,
+    serialized — so ``--stream``/``--resume`` work unchanged. Scenario
+    failures are isolated worker-side; a worker that dies mid-shard
+    has its unfinished scenarios rebalanced onto the survivors
+    proportionally to the surviving weights (see the module docstring
+    for the full rules).
+
+    ``connect_timeout`` bounds connection establishment and the
+    handshake only; once a job is streaming there is no read deadline
+    (scenarios may legitimately take minutes), so a hung-but-connected
+    worker stalls the run — kill the daemon to trigger rebalancing.
     """
 
     name = "remote"
@@ -429,54 +808,238 @@ class RemoteBackend(ExecutionBackend):
     #: :attr:`ExecutionBackend.uses_parent_cache`).
     uses_parent_cache = False
     addresses: tuple = ()
+    weights: tuple = ()
     shard_size: "int | None" = None
     connect_timeout: float = 10.0
+    secret: "bytes | None" = None
+    registry: object = None
+    registry_poll: float = 2.0
+    registry_grace: float = 10.0
 
     def __post_init__(self) -> None:
         if self.addresses:
             self.addresses = parse_worker_addresses(self.addresses)
-
-    def effective_workers(self, n_scenarios: int) -> int:
-        return max(min(len(self.addresses), max(n_scenarios, 1)), 1)
+        self.secret = _as_secret(self.secret)
+        if self.addresses and self.registry is not None:
+            raise PlanningError(
+                "pass either static worker addresses or a registry, "
+                "not both"
+            )
+        if self.weights:
+            if self.registry is not None:
+                raise PlanningError(
+                    "explicit weights only apply to static addresses; "
+                    "registry workers advertise their own capacity"
+                )
+            weights = tuple(int(w) for w in self.weights)
+            if len(weights) != len(self.addresses):
+                raise PlanningError(
+                    f"got {len(weights)} weights for "
+                    f"{len(self.addresses)} worker addresses"
+                )
+            if any(w < 1 for w in weights):
+                raise PlanningError(
+                    f"worker weights must be >= 1, got {weights}"
+                )
+            self.weights = weights
+        self._registry_client_cache = None
+        self._roster_cache = None
 
     # ------------------------------------------------------------------
-    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
-        if not self.addresses:
-            raise PlanningError(
-                "RemoteBackend has no worker addresses; pass "
-                "addresses=['host:port', ...]"
+    def _registry_client(self):
+        if self._registry_client_cache is None:
+            from repro.sweep.registry import resolve_registry
+
+            self._registry_client_cache = resolve_registry(
+                self.registry, secret=self.secret
             )
-        n = len(scenarios)
-        if n == 0:
-            return []
-        shards = make_shards(
-            scenarios, min(len(self.addresses), n), self.shard_size
+        return self._registry_client_cache
+
+    def _live_registry_workers(self):
+        """Current registry roster, protocol-filtered and sorted."""
+        records = sorted(
+            self._registry_client().live_workers(),
+            key=lambda record: (record.host, record.port),
         )
-        work = _WorkQueue(shards)
-        events: "queue.Queue[tuple]" = queue.Queue()
-        config_doc = None if base_config is None else asdict(base_config)
+        usable = []
+        for record in records:
+            if record.protocol != PROTOCOL_VERSION:
+                warnings.warn(
+                    f"registry worker {record.key} speaks protocol "
+                    f"{record.protocol}, not {PROTOCOL_VERSION}; skipping",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            usable.append(record)
+        return usable
+
+    def _discover(self):
+        """Resolve the starting roster from the registry (ping-checked).
+
+        Registry and handshake failures come back as
+        :class:`PlanningError` (the CLI's exit-2 contract): a wrong
+        secret must say so, not masquerade as "no live workers". Dead
+        registrants are probed *concurrently* — one slow connect
+        timeout bounds startup, instead of one per crashed host — and
+        skipped with a warning.
+        """
+        try:
+            records = self._live_registry_workers()
+        except RemoteAuthError as exc:
+            raise PlanningError(
+                f"cannot authenticate to registry {self.registry!r}: {exc}"
+            ) from None
+        except (OSError, RemoteProtocolError) as exc:
+            raise PlanningError(
+                f"cannot reach registry {self.registry!r}: {exc}"
+            ) from None
+        probes: dict = {}
+
+        def probe(record) -> None:
+            try:
+                ping(
+                    (record.host, record.port),
+                    timeout=self.connect_timeout,
+                    secret=self.secret,
+                )
+                probes[record.key] = None
+            except Exception as exc:  # noqa: BLE001 — sorted out below
+                probes[record.key] = exc
+
         threads = [
-            threading.Thread(
-                target=self._drive_worker,
-                args=(address, work, events, config_doc),
-                daemon=True,
-                name=f"remote-{format_address(address)}",
-            )
-            for address in self.addresses
+            threading.Thread(target=probe, args=(record,), daemon=True)
+            for record in records
         ]
         for thread in threads:
             thread.start()
+        for thread in threads:
+            thread.join()
+        roster = []
+        for record in records:
+            failure = probes.get(record.key)
+            if isinstance(failure, RemoteAuthError):
+                raise PlanningError(
+                    f"cannot authenticate to registered worker "
+                    f"{record.key}: {failure}"
+                ) from None
+            if failure is not None:
+                warnings.warn(
+                    f"registered worker {record.key} is unreachable "
+                    f"({failure}); skipping it",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            roster.append(((record.host, record.port), record.capacity))
+        if not roster:
+            raise PlanningError(
+                f"registry {self.registry!r} lists no live workers "
+                f"(start some with 'repro worker serve --registry ...')"
+            )
+        return roster
+
+    def _resolve_roster(self):
+        """``[(address, weight), ...]`` — static list or discovery.
+
+        Discovery is cached per backend instance: the runner asks for
+        ``effective_workers`` and then runs, and both must see the same
+        roster. Mid-sweep joins go through the registry re-query, not
+        through this.
+        """
+        if self._roster_cache is None:
+            if self.registry is not None:
+                self._roster_cache = self._discover()
+            else:
+                if not self.addresses:
+                    raise PlanningError(
+                        "RemoteBackend has no worker addresses; pass "
+                        "addresses=['host:port', ...] or registry=..."
+                    )
+                weights = self.weights or (1,) * len(self.addresses)
+                self._roster_cache = list(zip(self.addresses, weights))
+        return self._roster_cache
+
+    def effective_workers(self, n_scenarios: int) -> int:
+        return max(min(len(self._resolve_roster()), max(n_scenarios, 1)), 1)
+
+    # ------------------------------------------------------------------
+    def run(self, scenarios, base_config=None, cache_dir=None, on_outcome=None):
+        roster = self._resolve_roster()
+        n = len(scenarios)
+        if n == 0:
+            return []
+        config_doc = None if base_config is None else asdict(base_config)
+        if self.shard_size is None:
+            # Capacity-weighted initial distribution: one contiguous
+            # shard per worker, sized by weight (may be empty for tiny
+            # grids); rebalanced leftovers flow through the queue.
+            initial = make_shards(
+                scenarios, len(roster), weights=[w for _, w in roster]
+            )
+            pending = []
+        else:
+            # Fine-grained mode: everything is pulled from the queue in
+            # uniform shard_size chunks (the PR 4 semantics).
+            initial = [[] for _ in roster]
+            pending = [
+                pair
+                for shard in make_shards(scenarios, len(roster), self.shard_size)
+                for pair in shard
+            ]
+        work = _WorkQueue(
+            pending,
+            chunk_size=self.shard_size,
+            initial_active=sum(1 for shard in initial if shard),
+        )
+        events: "queue.Queue[tuple]" = queue.Queue()
+        threads: list = []
+        known: set = set()
+
+        def spawn(address, weight, initial_shard) -> None:
+            driver_id = len(threads)
+            work.add_worker(driver_id, weight)
+            thread = threading.Thread(
+                target=self._drive_worker,
+                args=(driver_id, address, work, events, config_doc,
+                      initial_shard),
+                daemon=True,
+                name=f"remote-{format_address(address)}",
+            )
+            threads.append(thread)
+            known.add(format_address(address))
+            thread.start()
+
+        for (address, weight), shard in zip(roster, initial):
+            spawn(address, weight, shard)
 
         outcomes: list["ScenarioOutcome | None"] = [None] * n
         n_done = 0
         dead: dict = {}
+        poll_at = time.monotonic() + self.registry_poll
+        give_up_at = None
         try:
             while n_done < n:
+                if self.registry is not None and time.monotonic() >= poll_at:
+                    # Mid-sweep discovery: workers that joined since the
+                    # last look get a driver and start pulling work.
+                    self._backfill(spawn, known)
+                    poll_at = time.monotonic() + self.registry_poll
                 try:
                     event = events.get(timeout=0.1)
                 except queue.Empty:
                     if any(thread.is_alive() for thread in threads):
+                        give_up_at = None
                         continue
+                    if self.registry is not None:
+                        # Every known worker is dead; hold the sweep
+                        # open for the grace window so a late joiner
+                        # can still rescue it.
+                        now = time.monotonic()
+                        if give_up_at is None:
+                            give_up_at = now + self.registry_grace
+                        if now < give_up_at:
+                            continue
                     # All drivers exited with scenarios unfinished: drain
                     # any final events, then report the failure.
                     try:
@@ -514,43 +1077,72 @@ class RemoteBackend(ExecutionBackend):
                 f"{addr}: {err}" for addr, err in dead.items()
             )
             raise PlanningError(
-                f"remote sweep failed: all {len(self.addresses)} workers "
+                f"remote sweep failed: all {len(threads)} workers "
                 f"died with {len(missing)} of {n} scenarios unfinished "
                 f"({len(unfinished)} still queued). Worker errors: "
                 f"{failures or 'none recorded'}"
             )
         return outcomes
 
+    def _backfill(self, spawn, known: set) -> None:
+        """Spawn drivers for registry workers we have not seen yet."""
+        try:
+            records = self._live_registry_workers()
+        except Exception as exc:  # noqa: BLE001 — a flaky registry must
+            # not kill a running sweep; the current workers carry on.
+            warnings.warn(
+                f"registry re-query failed ({exc}); continuing with the "
+                f"current workers",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        for record in records:
+            if record.key in known:
+                continue  # already driving it, or it died this run
+            spawn((record.host, record.port), record.capacity, [])
+
     # ------------------------------------------------------------------
-    def _drive_worker(self, address, work: _WorkQueue, events, config_doc):
+    def _drive_worker(
+        self, driver_id, address, work: _WorkQueue, events, config_doc,
+        initial_shard,
+    ):
         """One worker's driver thread: pull shards until none can come."""
+        shard = list(initial_shard)
         while True:
-            shard = work.get()
-            if shard is None:
-                return
+            if not shard:
+                shard = work.get(driver_id)
+                if shard is None:
+                    return
             done: set = set()
             try:
                 for index, outcome in self._run_shard(
                     address, shard, config_doc
                 ):
+                    outcome.worker = format_address(address)
                     done.add(index)
                     events.put(("outcome", index, outcome))
             except Exception as exc:  # noqa: BLE001 — any failure on this
-                # path (socket, protocol, malformed record) means the
-                # worker cannot be trusted. Worker death: requeue what it
-                # never finished, report, and retire this worker for the
-                # rest of the run. A narrower catch would leak the
-                # work-queue active count and hang every other driver.
-                leftover = [(i, s) for i, s in shard if i not in done]
-                work.task_done(requeue=leftover)
+                # path (socket, handshake, protocol, malformed record)
+                # means the worker cannot be trusted. Worker death:
+                # requeue what it never finished, report, and retire
+                # this worker for the rest of the run. A narrower catch
+                # would leak the work-queue active count and hang every
+                # other driver.
+                work.retire(driver_id)
+                work.task_done(
+                    requeue=[(i, s) for i, s in shard if i not in done]
+                )
                 events.put(("dead", address, f"{type(exc).__name__}: {exc}"))
                 return
             work.task_done()
+            shard = []
 
     def _run_shard(self, address, shard, config_doc):
         """Send one job; yield ``(index, outcome)`` as frames arrive."""
-        with socket.create_connection(
-            address, timeout=self.connect_timeout
+        with connect_authenticated(
+            address, self.secret, self.connect_timeout,
+            peer=f"worker {format_address(address)}",
         ) as sock:
             sock.settimeout(None)  # scenarios may run long; EOF still breaks
             send_frame(sock, {

@@ -79,6 +79,7 @@ def scenario_record(outcome) -> dict:
         "ok": outcome.ok,
         "error": outcome.error,
         "cache_hit": outcome.cache_hit,
+        "worker": outcome.worker,
         "precompute_s": round(float(outcome.precompute_s), 6),
         "total_s": round(float(outcome.total_s), 6),
         "results": [_result_record(r) for r in outcome.results],
@@ -341,6 +342,10 @@ def outcome_from_wire_record(record, scenario):
         precompute_s=float(record.get("precompute_s", 0.0)),
         total_s=float(record.get("total_s", 0.0)),
         error=record.get("error"),
+        # Workers do not know the address they serve on as the parent
+        # sees it; the remote backend's driver stamps the authoritative
+        # value right after this rebuild.
+        worker=record.get("worker"),
     )
 
 

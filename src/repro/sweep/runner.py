@@ -62,7 +62,10 @@ class ScenarioOutcome:
     processes leave it ``None`` rather than pickling megabytes of
     spectral state back to the parent. ``error`` is set (and ``results``
     left empty) by failure-isolating backends when the scenario raised
-    instead of planning.
+    instead of planning. ``worker`` names the remote daemon
+    (``host:port``) that executed the scenario — stamped by the remote
+    backend's parent-side driver, ``None`` for in-process backends —
+    which is how reports expose the capacity-weighted distribution.
     """
 
     scenario: Scenario
@@ -74,6 +77,7 @@ class ScenarioOutcome:
         default=None, repr=False, compare=False
     )
     error: "str | None" = None
+    worker: "str | None" = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -203,6 +207,16 @@ class SweepRunner:
         (``"host:port,host:port"`` or an iterable of entries); forwarded
         to :func:`~repro.sweep.backends.resolve_backend`, which rejects
         them for every other backend name.
+    registry:
+        Worker registry spec for the ``remote`` backend — ``host:port``
+        of a ``repro registry serve`` daemon, a JSON registry file
+        path, or a ready :class:`~repro.sweep.registry.Registry` — as
+        the discovery alternative to static ``addresses`` (mutually
+        exclusive; remote-only, like ``addresses``).
+    secret:
+        Shared handshake secret (bytes/str, e.g.
+        :func:`~repro.sweep.remote.load_secret` output) for the
+        ``remote`` backend's workers and registry; remote-only.
     base_seed:
         Explicit sweep-wide seed applied to every scenario that does
         not set its own (via ``seed`` or a ``seed`` override). ``None``
@@ -228,6 +242,8 @@ class SweepRunner:
         vary_seeds: bool = False,
         backend: str = "process",
         addresses=None,
+        registry=None,
+        secret=None,
     ):
         self.base_config = base_config or PlannerConfig()
         self.cache_dir = str(cache_dir) if cache_dir else None
@@ -236,6 +252,8 @@ class SweepRunner:
         self.vary_seeds = bool(vary_seeds)
         self.backend = backend
         self.addresses = addresses
+        self.registry = registry
+        self.secret = secret
         #: Workers used by the most recent :meth:`run` (1 = serial path).
         self.last_worker_count = 0
 
@@ -264,7 +282,8 @@ class SweepRunner:
         from repro.sweep.backends import resolve_backend
 
         return resolve_backend(
-            self.backend, workers=self.workers, addresses=self.addresses
+            self.backend, workers=self.workers, addresses=self.addresses,
+            registry=self.registry, secret=self.secret,
         )
 
     def report_cache_dir(self) -> "str | None":

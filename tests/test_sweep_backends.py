@@ -198,6 +198,61 @@ class TestMakeShards:
         assert make_shards([], 4) == []
 
 
+class TestWeightedShards:
+    """Capacity-weighted apportionment behind the remote backend."""
+
+    def _grid(self, n):
+        return [Scenario(name=f"s{i}", overrides={"w": i}) for i in range(n)]
+
+    def test_apportion_exact_ratios(self):
+        from repro.sweep import apportion
+
+        assert apportion(14, [1, 2, 4]) == [2, 4, 8]
+        assert apportion(7, [1, 2, 4]) == [1, 2, 4]
+
+    def test_apportion_sums_and_stays_proportional(self):
+        from repro.sweep import apportion
+
+        for n in range(0, 40):
+            shares = apportion(n, [1, 2, 4])
+            assert sum(shares) == n
+            exact = [n / 7, 2 * n / 7, 4 * n / 7]
+            assert all(abs(s - e) < 1 for s, e in zip(shares, exact))
+
+    def test_apportion_rejects_nonpositive_weights(self):
+        from repro.sweep import apportion
+
+        with pytest.raises(PlanningError, match="positive"):
+            apportion(5, [1, 0])
+        with pytest.raises(PlanningError, match="weight"):
+            apportion(5, [])
+
+    def test_weighted_shards_cover_grid_with_proportional_sizes(self):
+        shards = make_shards(self._grid(14), 3, weights=[1, 2, 4])
+        assert [len(s) for s in shards] == [2, 4, 8]
+        indices = sorted(i for shard in shards for i, _ in shard)
+        assert indices == list(range(14))
+
+    def test_weighted_shards_keep_positional_pairing_with_empties(self):
+        # 2 scenarios, 3 workers: light workers get empty shards but the
+        # shard-i-to-worker-i pairing is preserved.
+        shards = make_shards(self._grid(2), 3, weights=[1, 2, 4])
+        assert len(shards) == 3
+        assert [len(s) for s in shards] == [0, 1, 1]
+
+    def test_weights_and_shard_size_mutually_exclusive(self):
+        with pytest.raises(PlanningError, match="not both"):
+            make_shards(self._grid(4), 2, shard_size=2, weights=[1, 1])
+
+    def test_weight_count_must_match_shard_count(self):
+        with pytest.raises(PlanningError, match="2 weights for 3"):
+            make_shards(self._grid(4), 3, weights=[1, 2])
+
+    def test_weights_accepts_a_generator(self):
+        shards = make_shards(self._grid(6), 2, weights=iter([1, 2]))
+        assert [len(s) for s in shards] == [2, 4]
+
+
 class TestFailureIsolation:
     """One bad scenario must not kill a sharded sweep (acceptance)."""
 

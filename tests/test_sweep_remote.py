@@ -36,10 +36,13 @@ from repro.sweep import (
     scenario_record,
     scenario_spec,
 )
+from repro.sweep import RemoteAuthError, scenario_key
 from repro.sweep.remote import (
     RemoteProtocolError,
+    client_handshake,
     recv_frame,
     send_frame,
+    server_handshake,
 )
 from repro.utils.errors import DataError, PlanningError
 
@@ -69,14 +72,23 @@ def serial_outcomes(grid_scenarios, cache_dir):
     return runner.run(grid_scenarios)
 
 
-def start_workers(cache_dir, n=2, fail_after_frames=None):
+def start_workers(cache_dir, n=2, fail_after_frames=None, **kwargs):
     servers = [
-        WorkerServer(cache_dir=cache_dir, fail_after_frames=fail_after_frames)
+        WorkerServer(
+            cache_dir=cache_dir, fail_after_frames=fail_after_frames, **kwargs
+        )
         for _ in range(n)
     ]
     for server in servers:
         server.start_in_thread()
     return servers
+
+
+def open_session(address, secret=None, timeout=5.0):
+    """A connected, handshaken socket (the raw-frame test entry point)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    client_handshake(sock, secret)
+    return sock
 
 
 def addresses_of(servers):
@@ -282,22 +294,27 @@ class TestWorkerServer:
         assert pong["protocol"] == PROTOCOL_VERSION
         assert pong["cache_dir"] == workers[0].cache_dir
 
+    def test_pong_carries_capacity_and_fingerprint(self, workers):
+        pong = ping(workers[0].address)
+        assert pong["capacity"] == 1
+        assert isinstance(pong["cache_fingerprint"], str)
+
     def test_unknown_op_answers_error(self, workers):
-        with socket.create_connection(workers[0].address, timeout=5) as sock:
+        with open_session(workers[0].address) as sock:
             send_frame(sock, {"op": "dance"})
             frame = recv_frame(sock)
         assert frame["op"] == "error"
         assert "unknown op" in frame["error"]
 
     def test_protocol_mismatch_answers_error(self, workers):
-        with socket.create_connection(workers[0].address, timeout=5) as sock:
+        with open_session(workers[0].address) as sock:
             send_frame(sock, {"op": "run", "protocol": 999, "scenarios": []})
             frame = recv_frame(sock)
         assert frame["op"] == "error"
         assert "protocol" in frame["error"]
 
     def test_bad_job_answers_error(self, workers):
-        with socket.create_connection(workers[0].address, timeout=5) as sock:
+        with open_session(workers[0].address) as sock:
             send_frame(sock, {
                 "op": "run", "protocol": PROTOCOL_VERSION,
                 "scenarios": [{"index": 0, "scenario": {"name": "x",
@@ -307,9 +324,13 @@ class TestWorkerServer:
         assert frame["op"] == "error"
         assert "bad job" in frame["error"]
 
+    def test_nonpositive_capacity_rejected(self, cache_dir):
+        with pytest.raises(PlanningError, match="capacity"):
+            WorkerServer(cache_dir=cache_dir, capacity=0)
+
     def test_shutdown_op_stops_daemon(self, cache_dir):
         server = start_workers(cache_dir, n=1)[0]
-        with socket.create_connection(server.address, timeout=5) as sock:
+        with open_session(server.address) as sock:
             send_frame(sock, {"op": "shutdown"})
             assert recv_frame(sock)["op"] == "bye"
         # The listening socket goes away shortly after.
@@ -517,6 +538,8 @@ class TestFailover:
                     return
                 with conn:
                     try:
+                        if not server_handshake(conn, None):
+                            continue
                         frame = recv_frame(conn)
                         if frame and frame.get("op") == "run":
                             send_frame(conn, {"op": "done", "n_executed": 0})
@@ -583,6 +606,212 @@ class TestFailover:
                 for result in reference["results"]
             ]
             assert got == want
+
+
+# ----------------------------------------------------------------------
+# Authenticated wire
+# ----------------------------------------------------------------------
+class TestAuthenticatedSweeps:
+    SECRET = b"remote-fabric-test-secret"
+
+    def test_authed_sweep_bit_identical_to_serial(
+        self, grid_scenarios, cache_dir, serial_outcomes
+    ):
+        servers = start_workers(cache_dir, n=2, secret=self.SECRET)
+        try:
+            runner = SweepRunner(
+                base_config=BASE, cache_dir=cache_dir, backend="remote",
+                addresses=addresses_of(servers), secret=self.SECRET,
+            )
+            assert_results_identical(runner.run(grid_scenarios), serial_outcomes)
+        finally:
+            for server in servers:
+                server.shutdown()
+
+    def test_wrong_secret_runs_nothing_and_raises(
+        self, grid_scenarios, cache_dir, monkeypatch
+    ):
+        import repro.sweep.remote as remote_mod
+
+        executed = []
+        monkeypatch.setattr(
+            remote_mod, "execute_scenario",
+            lambda *a, **k: executed.append(1),
+        )
+        server = start_workers(cache_dir, n=1, secret=self.SECRET)[0]
+        try:
+            runner = SweepRunner(
+                base_config=BASE, cache_dir=cache_dir, backend="remote",
+                addresses=addresses_of([server]), secret=b"not-the-secret",
+            )
+            with pytest.raises(PlanningError, match="authentication failed"):
+                runner.run(grid_scenarios)
+        finally:
+            server.shutdown()
+        assert executed == []
+
+    def test_missing_secret_is_typed_client_side(self, cache_dir):
+        server = start_workers(cache_dir, n=1, secret=self.SECRET)[0]
+        try:
+            with pytest.raises(RemoteAuthError, match="requires authentication"):
+                ping(server.address)
+        finally:
+            server.shutdown()
+
+    def test_secretless_daemon_accepts_secret_bearing_client(self, cache_dir):
+        server = start_workers(cache_dir, n=1)[0]
+        try:
+            assert ping(server.address, secret=b"whatever")["op"] == "pong"
+        finally:
+            server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Capacity-weighted sharding
+# ----------------------------------------------------------------------
+class TestWeightedSharding:
+    def test_static_weights_shape_the_distribution(
+        self, grid_scenarios, cache_dir, serial_outcomes
+    ):
+        """Capacities [1, 2] over 6 scenarios: the heavier worker gets
+        exactly twice the scenarios, and results stay bit-identical."""
+        from collections import Counter
+
+        servers = start_workers(cache_dir, n=2)
+        try:
+            backend = RemoteBackend(
+                addresses=addresses_of(servers), weights=(1, 2)
+            )
+            outcomes = backend.run(grid_scenarios, BASE, None)
+            assert_results_identical(outcomes, serial_outcomes)
+            counts = Counter(o.worker for o in outcomes)
+            light, heavy = addresses_of(servers)
+            assert counts == {light: 2, heavy: 4}
+        finally:
+            for server in servers:
+                server.shutdown()
+
+    def test_outcome_worker_stamp_survives_streaming(
+        self, grid_scenarios, cache_dir, workers, tmp_path
+    ):
+        runner = SweepRunner(
+            base_config=BASE, cache_dir=cache_dir, backend="remote",
+            addresses=addresses_of(workers),
+        )
+        run = runner.run_stream(grid_scenarios, str(tmp_path / "s.jsonl"))
+        assert {r["worker"] for r in run.records} <= set(addresses_of(workers))
+        assert all(r["worker"] for r in run.records)
+
+    def test_weights_must_match_addresses(self):
+        with pytest.raises(PlanningError, match="weights"):
+            RemoteBackend(addresses=("h:1", "i:2"), weights=(1,))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(PlanningError, match=">= 1"):
+            RemoteBackend(addresses=("h:1", "i:2"), weights=(1, 0))
+
+    def test_dead_heavy_worker_rebalances_onto_light_survivor(
+        self, grid_scenarios, cache_dir, serial_outcomes
+    ):
+        """The weight-4 worker dies after one frame; the weight-1
+        survivor absorbs the requeued scenarios bit-identically."""
+        dying = start_workers(cache_dir, n=1, fail_after_frames=1)[0]
+        healthy = start_workers(cache_dir, n=1)[0]
+        try:
+            backend = RemoteBackend(
+                addresses=addresses_of([dying, healthy]), weights=(4, 1)
+            )
+            outcomes = backend.run(grid_scenarios, BASE, None)
+            assert_results_identical(outcomes, serial_outcomes)
+            survivors = {o.worker for o in outcomes}
+            assert f"{healthy.host}:{healthy.port}" in survivors
+        finally:
+            dying.shutdown()
+            healthy.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Key-stability properties (seeded-random grids)
+# ----------------------------------------------------------------------
+class TestKeyStabilityProperties:
+    """scenario_key / scenario_cache_key invariants the resume and wire
+    layers depend on: override-order independence, injectivity across
+    distinct resolved specs, and stability across spec/wire round
+    trips."""
+
+    def _random_scenarios(self, seed, n=60):
+        import random
+
+        rng = random.Random(seed)
+        scenarios = []
+        for i in range(n):
+            overrides = {}
+            if rng.random() < 0.8:
+                overrides["w"] = rng.choice([0.2, 0.35, 0.5, 0.65, 0.8])
+            if rng.random() < 0.6:
+                overrides["k"] = rng.choice([4, 6, 8, 10])
+            if rng.random() < 0.4:
+                overrides["seed_count"] = rng.choice([50, 80, 120])
+            if rng.random() < 0.3:
+                overrides["tau_km"] = rng.choice([0.4, 0.5, 0.6])
+            scenarios.append(Scenario(
+                name=f"random-{i}",
+                method=rng.choice(["eta-pre", "vk-tsp"]),
+                overrides=overrides,
+                route_count=rng.choice([1, 1, 1, 2]),
+                seed=rng.choice([None, 7, 11]),
+            ))
+        return scenarios
+
+    def _resolved_identity(self, scenario):
+        """Everything scenario_key hashes, as a comparable tuple."""
+        from dataclasses import asdict
+
+        return (
+            scenario.city, scenario.profile, scenario.method,
+            scenario.route_count,
+            json.dumps(asdict(scenario.planner_config(BASE)), sort_keys=True),
+        )
+
+    def test_scenario_key_is_override_order_independent(self):
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        for scenario in self._random_scenarios(1, n=25):
+            items = list(scenario.overrides)
+            rng.shuffle(items)
+            shuffled = Scenario(
+                name=scenario.name, method=scenario.method,
+                overrides=dict(items), route_count=scenario.route_count,
+                seed=scenario.seed,
+            )
+            assert scenario_key(shuffled, BASE) == scenario_key(scenario, BASE)
+
+    def test_scenario_key_injective_across_distinct_resolved_specs(self):
+        scenarios = self._random_scenarios(2)
+        by_identity = {}
+        for scenario in scenarios:
+            identity = self._resolved_identity(scenario)
+            key = scenario_key(scenario, BASE)
+            if identity in by_identity:
+                assert by_identity[identity] == key
+            by_identity[identity] = key
+        # Distinct resolved specs -> distinct keys (no collisions).
+        assert len(set(by_identity.values())) == len(by_identity)
+
+    def test_scenario_key_stable_across_spec_and_wire_round_trips(self):
+        for scenario in self._random_scenarios(3, n=25):
+            spec = json.loads(json.dumps(scenario_spec(scenario)))
+            rebuilt = scenario_from_spec(spec)
+            assert rebuilt == scenario
+            assert scenario_key(rebuilt, BASE) == scenario_key(scenario, BASE)
+
+    def test_scenario_key_ignores_name_but_not_config(self):
+        a = Scenario(name="a", overrides={"w": 0.4})
+        b = Scenario(name="b", overrides={"w": 0.4})
+        c = Scenario(name="a", overrides={"w": 0.5})
+        assert scenario_key(a, BASE) == scenario_key(b, BASE)
+        assert scenario_key(a, BASE) != scenario_key(c, BASE)
 
 
 # ----------------------------------------------------------------------
@@ -665,12 +894,68 @@ class TestRemoteCli:
         )) == 2
         assert "bad worker address" in capsys.readouterr().err
 
+    def test_registry_and_workers_at_both_exits_2(self, tmp_path, capsys):
+        assert main(self._sweep_args(
+            tmp_path,
+            ["--backend", "remote", "--workers-at", "127.0.0.1:1",
+             "--registry", "127.0.0.1:2"],
+        )) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_registry_without_remote_exits_2(self, tmp_path, capsys):
+        assert main(self._sweep_args(
+            tmp_path, ["--registry", "127.0.0.1:2"]
+        )) == 2
+        assert "registry only applies" in capsys.readouterr().err
+
+    def test_secret_file_without_remote_exits_2(self, tmp_path, capsys):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("hunter2\n")
+        assert main(self._sweep_args(
+            tmp_path, ["--secret-file", str(secret)]
+        )) == 2
+        assert "secret only applies" in capsys.readouterr().err
+
+    def test_unreadable_secret_file_exits_2(self, tmp_path, capsys):
+        assert main(self._sweep_args(
+            tmp_path,
+            ["--backend", "remote", "--workers-at", "127.0.0.1:1",
+             "--secret-file", str(tmp_path / "nope.txt")],
+        )) == 2
+        assert "secret file" in capsys.readouterr().err
+
+    def test_empty_secret_file_exits_2(self, tmp_path, capsys):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("   \n")
+        assert main(self._sweep_args(
+            tmp_path,
+            ["--backend", "remote", "--workers-at", "127.0.0.1:1",
+             "--secret-file", str(secret)],
+        )) == 2
+        assert "empty" in capsys.readouterr().err
+
     def test_worker_serve_parser(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(
-            ["worker", "serve", "--port", "0", "--cache-dir", "x"]
+            ["worker", "serve", "--port", "0", "--cache-dir", "x",
+             "--capacity", "4", "--secret-file", "s.txt",
+             "--registry", "127.0.0.1:7500"]
         )
         assert args.worker_command == "serve"
         assert args.port == 0
+        assert args.capacity == 4
+        assert args.secret_file == "s.txt"
+        assert args.registry == "127.0.0.1:7500"
         assert args.func.__name__ == "_cmd_worker"
+
+    def test_registry_serve_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["registry", "serve", "--port", "0", "--ttl", "5",
+             "--secret-file", "s.txt"]
+        )
+        assert args.registry_command == "serve"
+        assert args.ttl == 5.0
+        assert args.func.__name__ == "_cmd_registry"

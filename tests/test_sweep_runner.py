@@ -195,3 +195,76 @@ class TestScenarioKinds:
             ).plan(scenario.method)
             assert outcome.result.route.edge_indices == serial.route.edge_indices
             assert outcome.result.objective == serial.objective
+
+
+class TestCacheKeyProperties:
+    """scenario_cache_key invariants over seeded-random grids: stable
+    across override order and spec round-trips, sensitive to exactly
+    the precompute-relevant config fields (the rebind contract), and
+    deliberately shared across search-knob-only variations."""
+
+    def _random_overrides(self, rng):
+        overrides = {}
+        if rng.random() < 0.7:
+            overrides["w"] = rng.choice([0.2, 0.4, 0.6, 0.8])
+        if rng.random() < 0.5:
+            overrides["k"] = rng.choice([4, 6, 10])
+        if rng.random() < 0.5:
+            overrides["tau_km"] = rng.choice([0.4, 0.5, 0.6])
+        if rng.random() < 0.3:
+            overrides["n_probes"] = rng.choice([8, 12])
+        return overrides
+
+    def test_cache_key_order_independent_and_spec_stable(self):
+        import json
+        import random
+
+        from repro.sweep import (
+            scenario_cache_key,
+            scenario_from_spec,
+            scenario_spec,
+        )
+
+        rng = random.Random(0xBEEF)
+        for i in range(30):
+            overrides = self._random_overrides(rng)
+            scenario = Scenario(name=f"p{i}", overrides=overrides)
+            items = list(scenario.overrides)
+            rng.shuffle(items)
+            shuffled = Scenario(name=f"p{i}-shuffled", overrides=dict(items))
+            key = scenario_cache_key(scenario, BASE)
+            assert scenario_cache_key(shuffled, BASE) == key
+            round_tripped = scenario_from_spec(
+                json.loads(json.dumps(scenario_spec(scenario)))
+            )
+            assert scenario_cache_key(round_tripped, BASE) == key
+
+    def test_cache_key_tracks_precompute_fields_only(self):
+        from repro.sweep import scenario_cache_key
+
+        base_key = scenario_cache_key(Scenario(name="a"), BASE)
+        # Search knobs are excluded by design: one warm entry per sweep.
+        for knob in ({"w": 0.9}, {"k": 3}, {"seed_count": 33}):
+            assert scenario_cache_key(
+                Scenario(name="b", overrides=knob), BASE
+            ) == base_key
+        # Precompute-relevant fields each produce a distinct key.
+        distinct = {base_key}
+        for knob in ({"tau_km": 0.7}, {"n_probes": 5},
+                     {"lanczos_steps": 11}, {"seed": 1234}):
+            distinct.add(scenario_cache_key(
+                Scenario(name="c", overrides=knob), BASE
+            ))
+        assert len(distinct) == 5
+
+    def test_cache_key_matches_cache_key_for(self):
+        """The memoized grid path must agree with the cache's own
+        keying, or resume records would lie about artifacts."""
+        from repro.sweep import PrecomputationCache, scenario_cache_key
+
+        dataset = canned_city("chicago", "tiny")
+        scenario = Scenario(name="a", overrides={"tau_km": 0.6})
+        cache = PrecomputationCache("unused-dir")
+        assert scenario_cache_key(scenario, BASE) == cache.key_for(
+            dataset, scenario.planner_config(BASE)
+        )
