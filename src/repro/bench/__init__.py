@@ -5,8 +5,22 @@ importable for ad-hoc use::
 
     from repro.bench import experiments, harness
     rows = experiments.table6_effectiveness(["chicago"])
+
+:mod:`repro.bench.trajectory` + :mod:`repro.bench.gate` are the perf
+*history* layer: ``repro bench run`` writes versioned
+``BENCH_<area>.json`` snapshots, ``repro bench compare`` diffs a fresh
+run against a committed baseline and fails on regression.
 """
 
+from repro.bench.gate import (
+    DEFAULT_MAX_REGRESS,
+    GateResult,
+    GateRow,
+    compare_snapshots,
+    format_gate,
+    load_snapshot,
+    parse_percent,
+)
 from repro.bench.harness import (
     BENCH_ETA_ITERATIONS,
     bench_config,
@@ -14,11 +28,32 @@ from repro.bench.harness import (
     get_precomputation,
     report,
 )
+from repro.bench.trajectory import (
+    AREAS,
+    BENCH_PROFILES,
+    BENCH_SCHEMA_VERSION,
+    run_area,
+    snapshot_path,
+    write_snapshot,
+)
 
 __all__ = [
+    "AREAS",
     "BENCH_ETA_ITERATIONS",
+    "BENCH_PROFILES",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_MAX_REGRESS",
+    "GateResult",
+    "GateRow",
     "bench_config",
+    "compare_snapshots",
+    "format_gate",
     "get_dataset",
     "get_precomputation",
+    "load_snapshot",
+    "parse_percent",
     "report",
+    "run_area",
+    "snapshot_path",
+    "write_snapshot",
 ]

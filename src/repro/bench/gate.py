@@ -1,0 +1,223 @@
+"""Regression gate: diff a fresh bench snapshot against a baseline.
+
+:func:`compare_snapshots` aligns two :mod:`trajectory
+<repro.bench.trajectory>` snapshots metric by metric and classifies
+every row:
+
+``regression``
+    A ``*_s`` timing grew past the threshold: ``fresh > baseline *
+    (1 + max_regress)``. The only status that fails the gate.
+``improved`` / ``ok``
+    A timing that shrank noticeably / stayed within the band.
+``added`` / ``removed``
+    Metric present on only one side — suite drift, reported loudly but
+    not a perf regression (the gate cannot price what it cannot
+    compare; refresh the baseline to re-align).
+``skipped``
+    A timing whose baseline is zero, negative, or NaN: no meaningful
+    ratio exists, so the row is excluded from the verdict instead of
+    dividing by it.
+``info``
+    Non-timing metrics (hit rates, iteration counts, sizes) — tracked
+    for drift visibility, never gated on.
+
+Only like snapshots compare: area, suite profile, and schema version
+must match, otherwise :class:`~repro.utils.errors.DataError` — a "plan
+vs sweep" or tiny-vs-bench diff would be noise dressed as a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.bench.trajectory import BENCH_SCHEMA_VERSION
+from repro.utils.errors import DataError
+from repro.utils.tables import format_table
+
+DEFAULT_MAX_REGRESS = 0.2
+"""Default regression threshold: fail when a timing grows >20%."""
+
+IMPROVEMENT_BAND = 0.05
+"""Timings that shrink more than this are reported ``improved``."""
+
+
+def parse_percent(text) -> float:
+    """``"20%"`` / ``"20"`` / ``0.2`` -> ``0.2`` (fraction).
+
+    An explicit ``%`` suffix always divides by 100 (``"300%"`` is 3.0);
+    bare values above 1 are read as percentages too (``20`` means 20%,
+    nobody gates at +2000%), and values in ``[0, 1]`` pass through as
+    fractions.
+    """
+    if isinstance(text, bool):
+        raise DataError(f"bad threshold {text!r}: expected a percentage")
+    raw = str(text).strip()
+    is_percent = raw.endswith("%")
+    try:
+        value = float(raw.rstrip("%"))
+    except ValueError:
+        raise DataError(
+            f"bad threshold {text!r}: expected a percentage like '20%' "
+            f"or a fraction like 0.2"
+        ) from None
+    if is_percent or value > 1.0:
+        value /= 100.0
+    if not math.isfinite(value) or value < 0:
+        raise DataError(f"threshold must be a finite fraction >= 0, got {text!r}")
+    return value
+
+
+def load_snapshot(path: str) -> dict:
+    """Read and validate one ``BENCH_<area>.json`` document."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise DataError(f"no such bench snapshot: {path!r}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(f"bench snapshot {path!r} is unreadable: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), dict):
+        raise DataError(f"bench snapshot {path!r} is not a snapshot document")
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise DataError(
+            f"bench snapshot {path!r} has schema {doc.get('schema')!r}; "
+            f"this build reads schema {BENCH_SCHEMA_VERSION}"
+        )
+    if not doc.get("area"):
+        raise DataError(f"bench snapshot {path!r} names no area")
+    return doc
+
+
+@dataclass(frozen=True)
+class GateRow:
+    """One aligned metric: values on both sides and the verdict."""
+
+    metric: str
+    baseline: "float | None"
+    fresh: "float | None"
+    delta_pct: "float | None"
+    status: str
+
+
+@dataclass
+class GateResult:
+    """The verdict of one baseline-vs-fresh comparison."""
+
+    area: str
+    max_regress: float
+    rows: list = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no timing regressed past the threshold."""
+        return not self.regressions
+
+    def counts(self) -> dict:
+        out: dict[str, int] = {}
+        for row in self.rows:
+            out[row.status] = out.get(row.status, 0) + 1
+        return out
+
+
+def _is_timing(metric: str) -> bool:
+    return metric.endswith("_s")
+
+
+def _numeric(value) -> "float | None":
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def compare_snapshots(
+    baseline: dict,
+    fresh: dict,
+    max_regress: float = DEFAULT_MAX_REGRESS,
+) -> GateResult:
+    """Align ``fresh`` against ``baseline`` and classify every metric."""
+    for side, doc in (("baseline", baseline), ("fresh", fresh)):
+        if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), dict):
+            raise DataError(f"{side} snapshot is not a snapshot document")
+        if doc.get("schema") != BENCH_SCHEMA_VERSION:
+            raise DataError(
+                f"{side} snapshot has schema {doc.get('schema')!r}; "
+                f"this build compares schema {BENCH_SCHEMA_VERSION}"
+            )
+    if baseline.get("area") != fresh.get("area"):
+        raise DataError(
+            f"snapshot areas differ: baseline {baseline.get('area')!r} vs "
+            f"fresh {fresh.get('area')!r}"
+        )
+    if baseline.get("suite_profile") != fresh.get("suite_profile"):
+        raise DataError(
+            f"snapshot profiles differ: baseline "
+            f"{baseline.get('suite_profile')!r} vs fresh "
+            f"{fresh.get('suite_profile')!r} — wall times across profiles "
+            f"are not comparable"
+        )
+    max_regress = float(max_regress)
+
+    base_metrics = baseline["metrics"]
+    fresh_metrics = fresh["metrics"]
+    result = GateResult(area=str(baseline.get("area")), max_regress=max_regress)
+    for metric in sorted(set(base_metrics) | set(fresh_metrics)):
+        base = _numeric(base_metrics.get(metric))
+        new = _numeric(fresh_metrics.get(metric))
+        if metric not in fresh_metrics:
+            row = GateRow(metric, base, None, None, "removed")
+        elif metric not in base_metrics:
+            row = GateRow(metric, None, new, None, "added")
+        elif base is None or new is None:
+            # Non-numeric on either side: nothing to ratio.
+            row = GateRow(metric, base, new, None, "skipped")
+        elif not _is_timing(metric):
+            delta = None
+            if base not in (None, 0) and math.isfinite(base):
+                delta = (new - base) / abs(base) * 100.0
+            row = GateRow(metric, base, new, delta, "info")
+        elif base <= 0 or not math.isfinite(base) or not math.isfinite(new):
+            # Zero/negative/NaN baselines admit no regression ratio.
+            row = GateRow(metric, base, new, None, "skipped")
+        else:
+            delta = (new - base) / base * 100.0
+            if new > base * (1.0 + max_regress):
+                status = "regression"
+            elif new < base * (1.0 - IMPROVEMENT_BAND):
+                status = "improved"
+            else:
+                status = "ok"
+            row = GateRow(metric, base, new, delta, status)
+        result.rows.append(row)
+    return result
+
+
+def format_gate(result: GateResult, title: str = "") -> str:
+    """Aligned comparison table plus a one-line verdict."""
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.metric,
+            "-" if row.baseline is None else row.baseline,
+            "-" if row.fresh is None else row.fresh,
+            "-" if row.delta_pct is None else f"{row.delta_pct:+.1f}%",
+            row.status,
+        ])
+    table = format_table(
+        ["metric", "baseline", "fresh", "delta", "status"],
+        rows,
+        title=title or f"bench gate: {result.area} "
+                       f"(threshold +{result.max_regress * 100:.0f}%)",
+    )
+    counts = result.counts()
+    summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+    verdict = "PASS" if result.ok else (
+        f"FAIL: {len(result.regressions)} timing(s) regressed more than "
+        f"{result.max_regress * 100:.0f}%"
+    )
+    return f"{table}\n{summary or 'no metrics compared'}\n{verdict}"

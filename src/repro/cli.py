@@ -19,6 +19,11 @@ Commands
              workers (heartbeats, capacity, TTL age-out) so sweeps can
              discover them with ``--registry`` instead of static
              ``--workers-at`` lists.
+``bench``    benchmark trajectory: ``bench run`` executes the pinned
+             probe suites and writes versioned ``BENCH_<area>.json``
+             snapshots; ``bench compare BASELINE...`` diffs a fresh
+             run against committed snapshots and exits 1 on regression
+             (the CI perf gate).
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
 
@@ -45,6 +50,9 @@ Examples::
         --registry 127.0.0.1:7500 --secret-file secret.txt
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache evict --max-entries 8 --max-bytes 50000000
+    python -m repro bench run --profile tiny
+    python -m repro bench run --suite cache --suite spectral --out .
+    python -m repro bench compare BENCH_cache.json --max-regress 20%
     python -m repro removal --city nyc --profile small
     python -m repro bounds --city chicago --k 15
 """
@@ -426,6 +434,74 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        compare_snapshots,
+        format_gate,
+        load_snapshot,
+        parse_percent,
+        run_area,
+        write_snapshot,
+    )
+    from repro.bench.trajectory import AREAS
+
+    def on_probe(name: str, metrics: dict) -> None:
+        timings = ", ".join(
+            f"{k}={v:.4f}s" for k, v in sorted(metrics.items())
+            if k.endswith("_s")
+        )
+        print(f"  probe {name}: {timings}", file=sys.stderr)
+
+    if args.bench_command == "run":
+        areas = args.suite or list(AREAS)
+        try:
+            for area in areas:
+                print(f"bench run: {area} suite ({args.profile} profile)",
+                      file=sys.stderr)
+                snapshot = run_area(
+                    area, args.profile,
+                    repeat=args.repeat, warmup=args.warmup,
+                    on_probe=on_probe,
+                )
+                path = write_snapshot(snapshot, args.out)
+                print(f"wrote {path} ({len(snapshot['metrics'])} metrics, "
+                      f"git rev {snapshot['git_rev'] or 'unknown'})")
+        except (DataError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    # compare
+    try:
+        max_regress = parse_percent(args.max_regress)
+        if args.fresh and len(args.baseline) != 1:
+            print("error: --fresh compares exactly one baseline snapshot",
+                  file=sys.stderr)
+            return 2
+        failed = False
+        for baseline_path in args.baseline:
+            baseline = load_snapshot(baseline_path)
+            if args.fresh:
+                fresh = load_snapshot(args.fresh)
+            else:
+                print(
+                    f"bench compare: fresh {baseline['area']} run "
+                    f"({baseline['suite_profile']} profile) vs {baseline_path}",
+                    file=sys.stderr,
+                )
+                fresh = run_area(
+                    baseline["area"], baseline["suite_profile"],
+                    repeat=args.repeat, warmup=args.warmup,
+                )
+            result = compare_snapshots(baseline, fresh, max_regress)
+            print(format_gate(result))
+            failed = failed or not result.ok
+    except DataError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
 def _cmd_worker(args) -> int:
     from repro.sweep.registry import Heartbeat, resolve_registry
     from repro.sweep.remote import serve_worker
@@ -670,6 +746,50 @@ def build_parser() -> argparse.ArgumentParser:
         pc.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help="precomputation cache directory")
         pc.set_defaults(func=_cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark trajectory: timed probe suites + perf gate"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run probe suites and write BENCH_<area>.json snapshots"
+    )
+    p_bench_run.add_argument("--suite", action="append", default=None,
+                             choices=("plan", "sweep", "cache", "spectral"),
+                             help="suite area to run (repeatable; default: "
+                                  "all four)")
+    p_bench_run.add_argument("--out", default=".", metavar="DIR",
+                             help="directory for the BENCH_<area>.json "
+                                  "snapshots (default: current directory)")
+    p_bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff a fresh run against committed snapshots; exit 1 on "
+             "regression",
+    )
+    p_bench_compare.add_argument("baseline", nargs="+",
+                                 metavar="BASELINE",
+                                 help="committed BENCH_<area>.json snapshots "
+                                      "to gate against")
+    p_bench_compare.add_argument("--max-regress", default="20%",
+                                 metavar="PCT",
+                                 help="fail when a *_s timing grows more "
+                                      "than this ('20%%' or 0.2; "
+                                      "default 20%%)")
+    p_bench_compare.add_argument("--fresh", default="", metavar="PATH",
+                                 help="compare this already-written snapshot "
+                                      "instead of running fresh probes "
+                                      "(exactly one BASELINE)")
+    for pb in (p_bench_run, p_bench_compare):
+        pb.add_argument("--profile", choices=("tiny", "bench"),
+                        default="tiny",
+                        help="suite profile: dataset size + pinned "
+                             "warmup/repeat counts (compare always uses "
+                             "the baseline's own profile)")
+        pb.add_argument("--repeat", type=int, default=None,
+                        help="override the profile's timed-run count")
+        pb.add_argument("--warmup", type=int, default=None,
+                        help="override the profile's warmup-run count")
+        pb.set_defaults(func=_cmd_bench)
 
     p_worker = sub.add_parser(
         "worker", help="remote sweep worker daemon (see --backend remote)"

@@ -14,7 +14,9 @@ Two interchangeable registries implement one small contract
 * :class:`TcpRegistry` / :class:`RegistryServer` — a ``repro registry
   serve`` daemon speaking the same authenticated frame protocol as the
   workers (:mod:`repro.sweep.remote`), for multi-host deployments. The
-  server stamps ``last_seen`` itself, so worker clocks never matter.
+  server stamps ``last_seen`` itself, so worker clocks never matter —
+  and it prunes on a *monotonic* stamp, so its own wall clock stepping
+  (NTP) never matters either; ``last_seen`` is display provenance only.
 * :class:`FileRegistry` — a JSON file (``--registry path.json``) for
   single-host use: workers heartbeat into it with atomic replaces, the
   sweep just reads it. No extra daemon to run.
@@ -215,7 +217,13 @@ class FileRegistry(Registry):
     def register(self, record: WorkerRecord) -> None:
         doc = self._read()
         stamped = replace(record, last_seen=time.time())
-        doc["workers"][stamped.key] = stamped.as_record()
+        entry = stamped.as_record()
+        # Liveness is judged by the monotonic stamp (same host, same
+        # boot, so writer and reader share the clock); the wall-clock
+        # ``last_seen`` stays purely a display field — an NTP step
+        # between heartbeat and read must not expire a live worker.
+        entry["last_seen_monotonic"] = time.monotonic()
+        doc["workers"][stamped.key] = entry
         self._write(doc)
 
     def deregister(self, key: str) -> None:
@@ -224,15 +232,24 @@ class FileRegistry(Registry):
             self._write(doc)
 
     def live_workers(self) -> list:
-        cutoff = time.time() - self.ttl
-        return [
-            record
-            for record in (
-                worker_record_from(spec)
-                for spec in self._read()["workers"].values()
-            )
-            if record.last_seen >= cutoff
-        ]
+        now = time.monotonic()
+        wall_cutoff = time.time() - self.ttl
+        live = []
+        for spec in self._read()["workers"].values():
+            spec = dict(spec)
+            stamp = spec.pop("last_seen_monotonic", None)
+            record = worker_record_from(spec)
+            if stamp is not None:
+                # A stamp from the future is impossible within this boot
+                # (a pre-reboot leftover) — treat it as stale, never
+                # immortal.
+                if now - self.ttl <= float(stamp) <= now:
+                    live.append(record)
+            elif record.last_seen >= wall_cutoff:
+                # Hand-written / legacy documents carry only the
+                # wall-clock stamp; keep the old (step-sensitive) check.
+                live.append(record)
+        return live
 
 
 class TcpRegistry(Registry):
@@ -304,9 +321,13 @@ class RegistryServer(FrameServer):
     """The ``repro registry serve`` daemon: an in-memory worker roster.
 
     Registrations are upserted by worker address and stamped with the
-    *server's* clock (worker clock skew cannot fake liveness); entries
-    older than ``ttl`` are pruned on every read and register, so a
-    crashed worker ages out without any explicit deregistration.
+    *server's* clocks (worker clock skew cannot fake liveness): a
+    monotonic stamp drives TTL pruning — so a wall-clock (NTP) step on
+    the registry host can neither mass-expire live workers nor
+    immortalize dead ones — while the wall clock fills the serialized
+    ``last_seen`` display field. Entries older than ``ttl`` are pruned
+    on every read and register, so a crashed worker ages out without
+    any explicit deregistration.
     """
 
     def __init__(
@@ -321,21 +342,41 @@ class RegistryServer(FrameServer):
             raise PlanningError(f"registry ttl must be > 0, got {ttl}")
         super().__init__(host=host, port=port, secret=secret)
         self.ttl = ttl
+        #: key -> (record with wall-clock ``last_seen`` for display,
+        #: monotonic registration stamp used for liveness).
         self._workers: dict = {}
         self._lock = threading.Lock()
+        #: Liveness clock — monotonic so a wall-clock (NTP) step can
+        #: neither mass-expire live workers nor immortalize dead ones.
+        #: Injectable for tests.
+        self._clock = time.monotonic
 
     # ------------------------------------------------------------------
     def _prune(self, now: float) -> None:
         cutoff = now - self.ttl
         for key in [
-            k for k, rec in self._workers.items() if rec.last_seen < cutoff
+            k for k, (_, stamp) in self._workers.items() if stamp < cutoff
         ]:
             del self._workers[key]
 
+    def register_record(self, record: WorkerRecord) -> WorkerRecord:
+        """Upsert ``record``, stamped with the server's clocks.
+
+        The stored (and served) ``last_seen`` is the server's wall
+        clock — display provenance only; the liveness stamp pruned
+        against ``ttl`` is monotonic and never leaves the server.
+        """
+        stamped = replace(record, last_seen=time.time())
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            self._workers[record.key] = (stamped, now)
+        return stamped
+
     def live_workers(self) -> list:
         with self._lock:
-            self._prune(time.time())
-            return list(self._workers.values())
+            self._prune(self._clock())
+            return [record for record, _ in self._workers.values()]
 
     @property
     def n_workers(self) -> int:
@@ -364,10 +405,7 @@ class RegistryServer(FrameServer):
             except DataError as exc:
                 send_frame(conn, {"op": "error", "error": str(exc)})
                 return False
-            now = time.time()
-            with self._lock:
-                self._prune(now)
-                self._workers[record.key] = replace(record, last_seen=now)
+            self.register_record(record)
             send_frame(conn, {"op": "registered", "ttl": self.ttl})
             return True
         if op == "deregister":

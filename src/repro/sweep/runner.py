@@ -410,7 +410,10 @@ class SweepRunner:
         so an interrupted sweep continues from where it died instead of
         starting over. Failed records are replayed too (their failure is
         a committed result) unless ``retry_failures=True``, which
-        re-runs exactly the failures. A torn final line from the
+        re-runs exactly the failures (and requires ``resume=True`` —
+        without a resumed stream there are no committed failures to
+        retry, so the combination raises instead of silently doing
+        nothing). A torn final line from the
         interruption is truncated before appending; the committed
         prefix is never rewritten. Resuming a path with no file yet is
         simply a fresh run — wrappers can pass ``resume=True``
@@ -428,6 +431,15 @@ class SweepRunner:
         """
         from repro.sweep.report import StreamWriter, read_stream
 
+        if retry_failures and not resume:
+            # Without resume there are no committed failure records to
+            # retry; the flag used to be silently ignored, which read
+            # as "failures were retried" when nothing of the sort ran.
+            raise PlanningError(
+                "retry_failures=True requires resume=True: retrying "
+                "failures means re-running the failed records of a "
+                "resumed stream"
+            )
         resolved = self.resolve(scenarios)
         keys = [scenario_key(s, self.base_config) for s in resolved]
         cache_keys = [scenario_cache_key(s, self.base_config) for s in resolved]

@@ -5,6 +5,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.utils.errors import ValidationError
+
 
 @dataclass
 class Timer:
@@ -14,25 +16,42 @@ class Timer:
     ...     _ = sum(range(10))
     >>> t.elapsed >= 0.0
     True
+
+    :meth:`lap` and :meth:`__exit__` require the timer to have been
+    started via ``with`` (or an explicit :meth:`__enter__`); using an
+    unstarted timer raises :class:`ValidationError` instead of silently
+    returning seconds-since-the-perf-counter-epoch.
     """
 
     elapsed: float = 0.0
-    _start: float = field(default=0.0, repr=False)
+    _start: "float | None" = field(default=None, repr=False)
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = time.perf_counter() - self._started()
 
     def lap(self) -> float:
         """Return seconds since ``__enter__`` without stopping the timer."""
-        return time.perf_counter() - self._start
+        return time.perf_counter() - self._started()
+
+    def _started(self) -> float:
+        if self._start is None:
+            raise ValidationError(
+                "Timer was never started: enter it first ('with Timer() as t')"
+            )
+        return self._start
 
 
 def format_seconds(seconds: float) -> str:
-    """Render a duration compactly (``1.23ms``, ``4.56s``, ``2m03s``)."""
+    """Render a duration compactly.
+
+    Tiers: ``1.23us`` / ``4.56ms`` below a second, ``4.56s`` below two
+    minutes, ``2m03.4s`` below an hour, then ``1h15m00.0s``. Negative
+    durations render with a leading ``-``.
+    """
     if seconds < 0:
         return f"-{format_seconds(-seconds)}"
     if seconds < 1e-3:
@@ -41,5 +60,12 @@ def format_seconds(seconds: float) -> str:
         return f"{seconds * 1e3:.2f}ms"
     if seconds < 120.0:
         return f"{seconds:.2f}s"
-    minutes = int(seconds // 60)
-    return f"{minutes}m{seconds - 60 * minutes:04.1f}s"
+    # Minute/hour tiers keep tenth-of-second resolution. Rounding happens
+    # on the total *before* splitting into fields, so 3599.97s carries
+    # into 1h00m00.0s instead of rendering the impossible 59m60.0s.
+    whole_seconds, tenths = divmod(round(seconds * 10), 10)
+    minutes, secs = divmod(whole_seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}.{tenths}s"
+    return f"{minutes}m{secs:02d}.{tenths}s"

@@ -1,0 +1,210 @@
+"""Tests for the bench regression gate (comparator edge cases)."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.gate import (
+    DEFAULT_MAX_REGRESS,
+    compare_snapshots,
+    format_gate,
+    load_snapshot,
+    parse_percent,
+)
+from repro.bench.trajectory import BENCH_SCHEMA_VERSION
+from repro.utils.errors import DataError
+
+
+def make_snapshot(metrics, area="plan", suite_profile="tiny", **extra):
+    doc = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "area": area,
+        "suite_profile": suite_profile,
+        "metrics": dict(metrics),
+    }
+    doc.update(extra)
+    return doc
+
+
+def statuses(result):
+    return {row.metric: row.status for row in result.rows}
+
+
+class TestParsePercent:
+    @pytest.mark.parametrize("text, expect", [
+        ("20%", 0.2),
+        ("0.2", 0.2),
+        (0.2, 0.2),
+        (20, 0.2),
+        ("300%", 3.0),
+        ("0%", 0.0),
+        (1.0, 1.0),
+    ])
+    def test_values(self, text, expect):
+        assert parse_percent(text) == pytest.approx(expect)
+
+    @pytest.mark.parametrize("text", ["", "abc", "20 percent", "-5%", "nan", True])
+    def test_bad_values_raise(self, text):
+        with pytest.raises(DataError):
+            parse_percent(text)
+
+
+class TestLoadSnapshot:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such bench snapshot"):
+            load_snapshot(str(tmp_path / "BENCH_nope.json"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_plan.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError, match="unreadable"):
+            load_snapshot(str(path))
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "BENCH_plan.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(DataError, match="not a snapshot"):
+            load_snapshot(str(path))
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "BENCH_plan.json"
+        path.write_text(json.dumps(make_snapshot({}, schema=999)))
+        with pytest.raises(DataError, match="schema"):
+            load_snapshot(str(path))
+
+    def test_missing_area(self, tmp_path):
+        path = tmp_path / "BENCH_plan.json"
+        doc = make_snapshot({"a_s": 1.0})
+        doc.pop("area")
+        path.write_text(json.dumps(doc))
+        with pytest.raises(DataError, match="names no area"):
+            load_snapshot(str(path))
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_plan.json"
+        doc = make_snapshot({"probe.a_s": 1.0, "probe.rate": 0.5})
+        path.write_text(json.dumps(doc))
+        assert load_snapshot(str(path)) == doc
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        snap = make_snapshot({"p.wall_s": 1.0, "p.iterations": 50.0})
+        result = compare_snapshots(snap, snap)
+        assert result.ok
+        assert statuses(result) == {"p.wall_s": "ok", "p.iterations": "info"}
+
+    def test_regression_fails_the_gate(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        fresh = make_snapshot({"p.wall_s": 1.3})
+        result = compare_snapshots(base, fresh, max_regress=0.2)
+        assert not result.ok
+        (row,) = result.regressions
+        assert row.metric == "p.wall_s"
+        assert row.delta_pct == pytest.approx(30.0)
+
+    def test_within_threshold_passes(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        fresh = make_snapshot({"p.wall_s": 1.15})
+        assert compare_snapshots(base, fresh, max_regress=0.2).ok
+
+    def test_improvement_is_not_a_regression(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        fresh = make_snapshot({"p.wall_s": 0.5})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result) == {"p.wall_s": "improved"}
+
+    def test_metric_missing_from_fresh_is_removed_not_regression(self):
+        base = make_snapshot({"p.wall_s": 1.0, "p.gone_s": 2.0})
+        fresh = make_snapshot({"p.wall_s": 1.0})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result)["p.gone_s"] == "removed"
+
+    def test_metric_new_in_fresh_is_added(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        fresh = make_snapshot({"p.wall_s": 1.0, "p.new_s": 9.0})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result)["p.new_s"] == "added"
+
+    @pytest.mark.parametrize("baseline_value", [0.0, -1.0, float("nan")])
+    def test_unusable_timing_baseline_is_skipped(self, baseline_value):
+        base = make_snapshot({"p.wall_s": baseline_value})
+        fresh = make_snapshot({"p.wall_s": 100.0})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result) == {"p.wall_s": "skipped"}
+
+    def test_nan_fresh_timing_is_skipped(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        fresh = make_snapshot({"p.wall_s": float("nan")})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result) == {"p.wall_s": "skipped"}
+
+    def test_non_numeric_value_is_skipped(self):
+        base = make_snapshot({"p.wall_s": "fast"})
+        fresh = make_snapshot({"p.wall_s": 1.0})
+        assert statuses(compare_snapshots(base, fresh)) == {"p.wall_s": "skipped"}
+
+    def test_non_timing_metrics_never_gate(self):
+        # A hit rate collapsing is drift worth seeing, not a perf fail.
+        base = make_snapshot({"p.hit_rate": 1.0})
+        fresh = make_snapshot({"p.hit_rate": 0.0})
+        result = compare_snapshots(base, fresh)
+        assert result.ok
+        assert statuses(result) == {"p.hit_rate": "info"}
+
+    def test_zero_baseline_info_metric_has_no_delta(self):
+        base = make_snapshot({"p.count": 0.0})
+        fresh = make_snapshot({"p.count": 5.0})
+        (row,) = compare_snapshots(base, fresh).rows
+        assert row.status == "info"
+        assert row.delta_pct is None
+
+    def test_area_mismatch_raises(self):
+        with pytest.raises(DataError, match="areas differ"):
+            compare_snapshots(
+                make_snapshot({}, area="plan"), make_snapshot({}, area="sweep")
+            )
+
+    def test_profile_mismatch_raises(self):
+        with pytest.raises(DataError, match="profiles differ"):
+            compare_snapshots(
+                make_snapshot({}, suite_profile="tiny"),
+                make_snapshot({}, suite_profile="bench"),
+            )
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(DataError, match="schema"):
+            compare_snapshots(make_snapshot({}, schema=0), make_snapshot({}))
+
+    def test_non_snapshot_raises(self):
+        with pytest.raises(DataError, match="fresh snapshot"):
+            compare_snapshots(make_snapshot({}), {"metrics": None})
+
+    def test_default_threshold(self):
+        assert DEFAULT_MAX_REGRESS == pytest.approx(0.2)
+        base = make_snapshot({"p.wall_s": 1.0})
+        assert compare_snapshots(base, make_snapshot({"p.wall_s": 1.19})).ok
+        assert not compare_snapshots(base, make_snapshot({"p.wall_s": 1.21})).ok
+
+
+class TestFormatGate:
+    def test_pass_and_fail_verdicts(self):
+        base = make_snapshot({"p.wall_s": 1.0})
+        ok = format_gate(compare_snapshots(base, base))
+        assert "PASS" in ok and "bench gate: plan" in ok
+        fail = format_gate(
+            compare_snapshots(base, make_snapshot({"p.wall_s": 9.0}))
+        )
+        assert "FAIL" in fail and "regression" in fail
+
+    def test_counts_are_finite_strings(self):
+        base = make_snapshot({"p.wall_s": 1.0, "p.rate": 0.5})
+        text = format_gate(compare_snapshots(base, base))
+        assert "1 info" in text and "1 ok" in text
+        assert not math.isnan(parse_percent("20%"))

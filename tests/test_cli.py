@@ -480,3 +480,100 @@ class TestAcceptanceFlow:
         # Exactly one committed artifact pair remains.
         assert len(list(cache_dir.glob("*.json"))) == 1
         assert len(list(cache_dir.glob("*.npz"))) == 1
+
+
+class TestBenchCli:
+    """`repro bench run|compare`: snapshots, gate verdicts, exit codes."""
+
+    def _run_cache_suite(self, out_dir):
+        return main([
+            "bench", "run", "--suite", "cache", "--out", str(out_dir),
+            "--repeat", "1", "--warmup", "0",
+        ])
+
+    def test_run_writes_schema_versioned_snapshot(self, tmp_path, capsys):
+        assert self._run_cache_suite(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out and "BENCH_cache.json" in captured.out
+        from repro.bench import BENCH_SCHEMA_VERSION
+
+        doc = json.loads((tmp_path / "BENCH_cache.json").read_text())
+        assert doc["schema"] == BENCH_SCHEMA_VERSION
+        assert doc["area"] == "cache"
+        assert doc["git_rev"]  # resolvable inside this repo
+        assert any(k.endswith("_s") for k in doc["metrics"])
+
+    def test_compare_identical_snapshot_passes(self, tmp_path, capsys):
+        assert self._run_cache_suite(tmp_path) == 0
+        capsys.readouterr()
+        baseline = str(tmp_path / "BENCH_cache.json")
+        assert main([
+            "bench", "compare", baseline, "--fresh", baseline,
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_injected_regression_exits_1(self, tmp_path, capsys):
+        assert self._run_cache_suite(tmp_path) == 0
+        capsys.readouterr()
+        baseline = tmp_path / "BENCH_cache.json"
+        doc = json.loads(baseline.read_text())
+        doctored = {
+            k: (v * 10 if k.endswith("_s") else v)
+            for k, v in doc["metrics"].items()
+        }
+        fresh = tmp_path / "doctored.json"
+        fresh.write_text(json.dumps({**doc, "metrics": doctored}))
+        assert main([
+            "bench", "compare", str(baseline), "--fresh", str(fresh),
+            "--max-regress", "20%",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "regression" in out
+
+    def test_compare_fresh_run_against_committed_baseline(
+        self, tmp_path, capsys
+    ):
+        # The CI-gate path: no --fresh, probes re-run on the baseline's
+        # own area/profile. A generous threshold keeps it robust here.
+        assert self._run_cache_suite(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "compare", str(tmp_path / "BENCH_cache.json"),
+            "--max-regress", "10000%", "--repeat", "1", "--warmup", "0",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        assert main([
+            "bench", "compare", str(tmp_path / "BENCH_nope.json"),
+        ]) == 2
+        assert "no such bench snapshot" in capsys.readouterr().err
+
+    def test_compare_bad_threshold_exits_2(self, tmp_path, capsys):
+        assert self._run_cache_suite(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "compare", str(tmp_path / "BENCH_cache.json"),
+            "--max-regress", "lots",
+        ]) == 2
+        assert "bad threshold" in capsys.readouterr().err
+
+    def test_compare_fresh_needs_exactly_one_baseline(self, tmp_path, capsys):
+        assert self._run_cache_suite(tmp_path) == 0
+        capsys.readouterr()
+        baseline = str(tmp_path / "BENCH_cache.json")
+        assert main([
+            "bench", "compare", baseline, baseline, "--fresh", baseline,
+        ]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_run_bad_repeat_exits_2(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--suite", "cache", "--out", str(tmp_path),
+            "--repeat", "0",
+        ]) == 2
+        assert "repeat" in capsys.readouterr().err
+
+    def test_run_unknown_suite_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "run", "--suite", "warp"])

@@ -15,6 +15,7 @@ import socket
 import threading
 import time
 from collections import Counter
+from dataclasses import replace
 
 import pytest
 
@@ -172,6 +173,87 @@ class TestFileRegistry:
         doc = json.loads(path.read_text())
         assert doc["schema"] == REGISTRY_SCHEMA_VERSION
         assert set(doc["workers"]) == {"h:1"}
+        # Liveness rides a monotonic stamp; last_seen stays wall-clock.
+        entry = doc["workers"]["h:1"]
+        assert entry["last_seen_monotonic"] > 0
+        assert abs(entry["last_seen"] - time.time()) < 60
+
+
+class TestLivenessSurvivesWallClockSteps:
+    """Regression: liveness used to ride ``time.time()``, so an NTP step
+    backwards mass-expired live workers (forward: immortalized dead
+    ones). Stamping and pruning are monotonic now; the wall clock is a
+    display field only."""
+
+    def test_file_registry_ignores_wall_clock_steps(self, tmp_path):
+        path = tmp_path / "reg.json"
+        registry = FileRegistry(str(path), ttl=30.0)
+        registry.register(WorkerRecord(host="h", port=1))
+        # Simulate an arbitrarily large wall step between heartbeat and
+        # read: rewrite the display stamp to the epoch / the far future.
+        for wall in (0.0, time.time() + 1e9):
+            doc = json.loads(path.read_text())
+            doc["workers"]["h:1"]["last_seen"] = wall
+            path.write_text(json.dumps(doc))
+            assert len(registry.live_workers()) == 1, f"expired at wall={wall}"
+
+    def test_file_registry_future_monotonic_stamp_is_stale(self, tmp_path):
+        # A monotonic stamp from the future is impossible within this
+        # boot (it is a pre-reboot leftover): stale, never immortal.
+        path = tmp_path / "reg.json"
+        registry = FileRegistry(str(path), ttl=30.0)
+        registry.register(WorkerRecord(host="h", port=1))
+        doc = json.loads(path.read_text())
+        doc["workers"]["h:1"]["last_seen_monotonic"] = time.monotonic() + 1e9
+        path.write_text(json.dumps(doc))
+        assert registry.live_workers() == []
+
+    def test_file_registry_legacy_record_falls_back_to_wall_clock(
+        self, tmp_path
+    ):
+        # Hand-written documents without the monotonic stamp keep the
+        # old wall-clock ageing so they still resolve.
+        path = tmp_path / "reg.json"
+        fresh = WorkerRecord(host="h", port=1, last_seen=time.time())
+        stale = WorkerRecord(host="h", port=2, last_seen=time.time() - 1e6)
+        path.write_text(json.dumps({
+            "schema": REGISTRY_SCHEMA_VERSION,
+            "workers": {r.key: r.as_record() for r in (fresh, stale)},
+        }))
+        live = FileRegistry(str(path), ttl=30.0).live_workers()
+        assert [r.key for r in live] == ["h:1"]
+
+    def test_server_prunes_on_monotonic_not_wall_clock(self):
+        server = RegistryServer(ttl=30.0)
+        try:
+            base = time.monotonic()
+            server._clock = lambda: base
+            stamped = server.register_record(WorkerRecord(host="h", port=1))
+            # The served record's wall stamp is display provenance.
+            assert abs(stamped.last_seen - time.time()) < 60
+            # Monotonic time passing ages the record out...
+            server._clock = lambda: base + 31.0
+            assert server.live_workers() == []
+        finally:
+            server.shutdown()
+
+    def test_server_liveness_unaffected_by_wall_stamp(self):
+        # A record whose wall-clock display stamp is absurd (as if the
+        # server clock stepped a year between register and read) stays
+        # live: only the monotonic stamp ages it.
+        server = RegistryServer(ttl=30.0)
+        try:
+            server.register_record(
+                WorkerRecord(host="h", port=1, last_seen=0.0)
+            )
+            with server._lock:
+                record, stamp = server._workers["h:1"]
+                server._workers["h:1"] = (
+                    replace(record, last_seen=time.time() - 1e9), stamp
+                )
+            assert len(server.live_workers()) == 1
+        finally:
+            server.shutdown()
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ run — across every execution backend.
 """
 
 import json
+import os
 
 import pytest
 
@@ -286,6 +287,19 @@ class TestResumeKeying:
         assert retried.n_replayed == 2
         assert retried.outcomes[2] is not None
         assert not retried.outcomes[2].ok
+
+    def test_retry_failures_without_resume_raises(self, cache_dir, tmp_path):
+        # Regression: the combination used to be silently ignored (the
+        # retry branch only runs under resume), reading as "failures
+        # were retried" when nothing of the sort ran.
+        runner = make_runner(cache_dir)
+        path = str(tmp_path / "guard.jsonl")
+        with pytest.raises(PlanningError, match="requires resume"):
+            runner.run_stream(
+                expand_grid({"w": [0.3]}), path, retry_failures=True
+            )
+        # The guard fires before the stream file is touched.
+        assert not os.path.exists(path)
 
 
 class TestCrossBackendResumeIdentity:

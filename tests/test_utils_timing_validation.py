@@ -26,6 +26,30 @@ class TestTimer:
             assert lap >= 0.0
         assert t.elapsed >= lap
 
+    def test_lap_before_enter_raises(self):
+        # Regression: _start used to default to 0.0, so lap() on an
+        # unstarted timer returned seconds-since-perf-counter-epoch — a
+        # silently huge number — instead of failing.
+        with pytest.raises(ValidationError, match="never started"):
+            Timer().lap()
+
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(ValidationError, match="never started"):
+            Timer().__exit__(None, None, None)
+
+    def test_unentered_timer_reports_zero_elapsed(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reentering_restarts(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert t.elapsed != first
+
 
 class TestFormatSeconds:
     @pytest.mark.parametrize(
@@ -35,13 +59,43 @@ class TestFormatSeconds:
             (0.005, "ms"),
             (1.5, "s"),
             (150.0, "m"),
+            (4500.0, "h"),
         ],
     )
     def test_units(self, value, expect):
         assert expect in format_seconds(value)
 
-    def test_negative(self):
-        assert format_seconds(-0.5).startswith("-")
+    @pytest.mark.parametrize(
+        "value, expect",
+        [
+            (0.005, "5.00ms"),
+            (1.5, "1.50s"),
+            (119.96, "119.96s"),  # just below the minutes tier
+            (120.0, "2m00.0s"),
+            (123.46, "2m03.5s"),
+            (3599.9, "59m59.9s"),
+            (3600.0, "1h00m00.0s"),
+            (4500.0, "1h15m00.0s"),  # 75 minutes: used to render 75m00.0s
+            (4503.2, "1h15m03.2s"),
+            (90061.0, "25h01m01.0s"),
+        ],
+    )
+    def test_exact_rendering(self, value, expect):
+        assert format_seconds(value) == expect
+
+    def test_minute_rounding_carries_into_hours(self):
+        # 3599.97 rounds to 3600.0s; without carry this rendered the
+        # impossible 59m60.0s.
+        assert format_seconds(3599.97) == "1h00m00.0s"
+
+    @pytest.mark.parametrize("value", [-0.5, -150.0, -4500.0])
+    def test_negative(self, value):
+        rendered = format_seconds(value)
+        assert rendered.startswith("-")
+        assert rendered[1:] == format_seconds(-value)
+
+    def test_zero(self):
+        assert format_seconds(0.0) == "0.0us"
 
 
 class TestValidation:
