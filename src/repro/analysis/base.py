@@ -1,0 +1,96 @@
+"""Rule base class and the rule registry.
+
+A rule is a stateless object with a unique ``code`` (``"RPR001"``), a
+default :class:`~repro.analysis.findings.Severity`, and a ``check``
+method that inspects an :class:`~repro.analysis.project.AnalysisContext`
+and yields findings. Rules register themselves at import time via the
+:func:`register_rule` decorator; ``repro check`` then selects them by
+code (``--select``/``--ignore``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
+from repro.utils.errors import ValidationError
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+class Rule:
+    """Base class for checkers. Subclasses set the class attributes.
+
+    ``check`` yields :class:`Finding` objects; it must emit them in a
+    deterministic order for a given source tree (the engine sorts the
+    combined list anyway, but per-rule determinism keeps duplicate
+    findings stable).
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, relpath: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding carrying this rule's code and severity."""
+        return Finding(
+            code=self.code,
+            severity=self.severity,
+            path=relpath,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+def register_rule(cls):
+    """Class decorator: validate and add a :class:`Rule` to the registry."""
+    if not issubclass(cls, Rule):
+        raise ValidationError(f"{cls!r} is not a Rule subclass")
+    if not _CODE_RE.match(cls.code):
+        raise ValidationError(
+            f"rule code {cls.code!r} does not match RPRnnn"
+        )
+    if not cls.name or not cls.summary:
+        raise ValidationError(f"rule {cls.code} needs a name and summary")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and type(existing) is not cls:
+        raise ValidationError(
+            f"rule code {cls.code} already registered by "
+            f"{type(existing).__name__}"
+        )
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> "list[Rule]":
+    """Every registered rule, sorted by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code``; :class:`ValidationError` if none."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ValidationError(
+            f"unknown rule code {code!r} (known: {known})"
+        ) from None
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (idempotent; they self-register)."""
+    import repro.analysis.rules  # noqa: F401

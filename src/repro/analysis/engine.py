@@ -1,0 +1,135 @@
+"""The check engine: load → run rules → apply suppressions → report.
+
+:func:`run_check` is the single entry point used by the CLI and the
+tests. It returns an :class:`AnalysisRun` whose findings are sorted by
+``(path, line, col, code)`` so both text and JSON renderings are stable
+across runs — CI diffs the JSON artifact between commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.base import all_rules, get_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import load_project
+from repro.analysis.suppressions import scan_suppressions
+
+UNUSED_SUPPRESSION_CODE = "RPR900"
+"""Meta-finding: a ``# repro: ignore[...]`` that silenced nothing.
+
+Stale suppressions are how a disabled check quietly stays disabled
+after the offending code is gone, so they are findings themselves
+(warning severity — they fail CI, which runs ``--strict``)."""
+
+
+@dataclass
+class AnalysisRun:
+    """The outcome of one ``repro check`` invocation."""
+
+    root: str
+    rule_codes: "tuple[str, ...]"
+    findings: "list[Finding]" = field(default_factory=list)
+    n_modules: int = 0
+
+    def errors(self) -> "list[Finding]":
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def failed(self, strict: bool = False) -> bool:
+        """Whether this run should fail the check.
+
+        Error findings always fail; warnings fail only under
+        ``--strict`` (the CI mode).
+        """
+        if strict:
+            return bool(self.findings)
+        return bool(self.errors())
+
+    def to_record(self) -> dict:
+        """Stable JSON form: no timestamps, no absolute paths."""
+        return {
+            "rules": list(self.rule_codes),
+            "n_modules": self.n_modules,
+            "n_findings": len(self.findings),
+            "findings": [f.to_record() for f in self.findings],
+        }
+
+
+def select_rules(
+    select: "Sequence[str] | None" = None,
+    ignore: "Sequence[str] | None" = None,
+):
+    """Resolve ``--select``/``--ignore`` into a rule list.
+
+    Unknown codes raise :class:`~repro.utils.errors.ValidationError`
+    (the CLI maps that to exit 2 — a typo must not silently pass).
+    """
+    if select:
+        rules = [get_rule(code.upper()) for code in select]
+    else:
+        rules = all_rules()
+    if ignore:
+        ignored = {get_rule(code.upper()).code for code in ignore}
+        rules = [rule for rule in rules if rule.code not in ignored]
+    return rules
+
+
+def run_check(
+    root: str,
+    select: "Sequence[str] | None" = None,
+    ignore: "Sequence[str] | None" = None,
+) -> AnalysisRun:
+    """Run the selected rules over every Python file under ``root``."""
+    ctx = load_project(root)
+    rules = select_rules(select=select, ignore=ignore)
+    suppressions = scan_suppressions(ctx.walk())
+
+    kept: "list[Finding]" = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.matches(
+                finding.path, finding.line, finding.code
+            ):
+                continue
+            kept.append(finding)
+
+    for stale in suppressions.unused():
+        kept.append(
+            Finding(
+                code=UNUSED_SUPPRESSION_CODE,
+                severity=Severity.WARNING,
+                path=stale.relpath,
+                line=stale.line,
+                col=0,
+                message=(
+                    "suppression "
+                    f"ignore[{', '.join(stale.codes)}] matched no finding; "
+                    "remove it"
+                ),
+            )
+        )
+
+    kept.sort(key=lambda f: f.sort_key)
+    return AnalysisRun(
+        root=ctx.root,
+        rule_codes=tuple(rule.code for rule in rules),
+        findings=kept,
+        n_modules=len(ctx.modules),
+    )
+
+
+def render_text(run: AnalysisRun, strict: bool = False) -> str:
+    """Human-readable report (one line per finding + a summary line)."""
+    lines = [f.render() for f in run.findings]
+    n_err = len(run.errors())
+    n_warn = len(run.findings) - n_err
+    summary = (
+        f"checked {run.n_modules} files with "
+        f"{len(run.rule_codes)} rules: "
+        f"{n_err} error(s), {n_warn} warning(s)"
+    )
+    if run.findings and not run.failed(strict):
+        summary += " (warnings do not fail without --strict)"
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Findings: what a rule reports, and how it renders.
+
+A :class:`Finding` is one file/line-anchored violation. Findings sort
+by ``(path, line, col, code)`` so text and JSON output are stable
+across runs and machines — the JSON form is diffed in CI artifacts, so
+nothing volatile (timestamps, absolute paths, hostnames) belongs here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail ``repro check`` unconditionally; ``WARNING``
+    findings fail only under ``--strict`` (which is what CI runs).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=False)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``path`` is POSIX-relative to the scanned root (never absolute —
+    JSON output must be machine-independent). ``line`` is 1-based;
+    ``col`` is 0-based like :mod:`ast` column offsets.
+    """
+
+    code: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """The text form: ``path:line:col: CODE severity: message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity}: {self.message}"
+        )
+
+    def to_record(self) -> dict:
+        """The JSON form (stable keys, stable ordering of fields)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,113 @@
+"""RPR005: durable artifacts are written atomically, not with bare open().
+
+Sweep reports, stream files, registry documents, cache artifacts and
+benchmark snapshots are read back by *other* processes — resumed
+sweeps, concurrent discovery, CI trend gates. A bare
+``open(path, "w")`` truncates the old contents first, so a crash (or a
+concurrent reader) mid-write observes a torn file where valid data
+used to be. The repo idiom is stage-then-rename:
+:func:`repro.utils.fsio.atomic_write_text` (or ``tempfile.mkstemp`` in
+the target directory + ``os.replace``, which the helper wraps) — the
+rename is atomic on POSIX, so readers see the old complete document or
+the new one, never a prefix.
+
+Scope: the directories whose files are durable shared state —
+``sweep/``, ``bench/``, and ``core/precompute.py`` (artifact pairs).
+A write-mode ``open`` is accepted when its enclosing function also
+calls ``os.replace`` (it *is* the staging idiom), and
+``StreamWriter``'s opens are allowlisted: an append-only JSONL stream
+is incremental by design, its commit unit is the flushed line and the
+reader (``read_stream``) is built to drop a torn tail — rename
+batching would destroy exactly the crash-resumability the stream
+exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import (
+    enclosing_class,
+    enclosing_function,
+    import_aliases,
+    resolve_call,
+    walk_calls,
+)
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Severity
+
+SCOPED_PREFIXES = ("sweep/", "bench/")
+SCOPED_FILES = ("core/precompute.py",)
+
+ALLOWLIST = frozenset({
+    # (relpath, class): append-only stream writer, see module docstring.
+    ("sweep/report.py", "StreamWriter"),
+})
+
+
+def _write_mode(call: ast.Call) -> "str | None":
+    """The mode string when this ``open`` call writes, else ``None``."""
+    mode = None
+    if len(call.args) >= 2:
+        arg = call.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            mode = arg.value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(
+            kw.value, ast.Constant
+        ) and isinstance(kw.value.value, str):
+            mode = kw.value.value
+    if mode is not None and ("w" in mode or "a" in mode or "x" in mode):
+        return mode
+    return None
+
+
+def _calls_os_replace(func: ast.AST, aliases: dict) -> bool:
+    for call in walk_calls(func):
+        if resolve_call(call, aliases) == "os.replace":
+            return True
+    return False
+
+
+@register_rule
+class AtomicWritesRule(Rule):
+    code = "RPR005"
+    name = "atomic-writes"
+    severity = Severity.WARNING
+    summary = (
+        "durable artifacts under sweep/, bench/ and core/precompute.py "
+        "are written via tmp+os.replace (utils.fsio.atomic_write_text), "
+        "never a bare truncating open()"
+    )
+
+    def check(self, ctx):
+        for module in ctx.walk():
+            if not (
+                module.relpath.startswith(SCOPED_PREFIXES)
+                or module.relpath in SCOPED_FILES
+            ):
+                continue
+            aliases = import_aliases(module.tree)
+            for call in walk_calls(module.tree):
+                if resolve_call(call, aliases) != "open":
+                    continue
+                mode = _write_mode(call)
+                if mode is None:
+                    continue
+                cls = enclosing_class(call)
+                if (
+                    cls is not None
+                    and (module.relpath, cls.name) in ALLOWLIST
+                ):
+                    continue
+                func = enclosing_function(call)
+                if func is not None and _calls_os_replace(func, aliases):
+                    continue  # this open IS the staging write
+                yield self.finding(
+                    module.relpath, call.lineno, call.col_offset,
+                    f"bare open(..., {mode!r}) truncates a durable "
+                    f"artifact in place — a crash or concurrent reader "
+                    f"mid-write sees a torn file; stage and rename via "
+                    f"repro.utils.fsio.atomic_write_text (tmp + "
+                    f"os.replace)",
+                )

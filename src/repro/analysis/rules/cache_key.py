@@ -1,0 +1,178 @@
+"""RPR002: every config field the precompute stage reads is in the cache key.
+
+The PR 2 bug, as a rule. ``precompute()`` started honoring
+``config.n_probes`` while the content-hash cache key still listed only
+the *old* precompute-relevant fields — so sweeps varying ``n_probes``
+were served stale artifacts and produced silently wrong numbers.
+
+The invariant: every :class:`PlannerConfig` field that
+``core/precompute.py`` reads must be declared in exactly one of
+
+* ``PRECOMPUTE_CONFIG_FIELDS`` — fields that change the expensive
+  artifacts; they feed the cache key, so a mismatch invalidates it;
+* ``REBIND_CONFIG_FIELDS`` — fields read only to derive the *cheap*
+  state that ``rebind()``/``load()`` recompute per config; they are
+  deliberately outside the cache key, and this constant is the audit
+  trail saying so.
+
+An undeclared read is exactly the PR 2 failure mode: the code depends
+on a knob the cache cannot see. The two tuples must stay disjoint (a
+field cannot be both keyed and rebind-healed) and name real
+``PlannerConfig`` fields (a typo'd entry would silently guard nothing).
+
+Reads are attribute accesses ``config.<field>`` / ``cfg.<field>`` /
+``*.config.<field>`` where ``<field>`` is a ``PlannerConfig`` field —
+the naming convention the module follows; ``getattr(config, name)``
+loops over one of the declared tuples and checks itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import module_constant, node_for_constant
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Severity
+
+CONFIG_MODULE = "core/config.py"
+PRECOMPUTE_MODULE = "core/precompute.py"
+CONFIG_CLASS = "PlannerConfig"
+KEYED_CONSTANT = "PRECOMPUTE_CONFIG_FIELDS"
+REBIND_CONSTANT = "REBIND_CONFIG_FIELDS"
+
+_CONFIG_NAMES = ("config", "cfg")
+
+
+def planner_config_fields(tree: ast.Module) -> "tuple[str, ...] | None":
+    """Field names of the ``PlannerConfig`` dataclass, or ``None``."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == CONFIG_CLASS:
+            return tuple(
+                sub.target.id
+                for sub in stmt.body
+                if isinstance(sub, ast.AnnAssign)
+                and isinstance(sub.target, ast.Name)
+            )
+    return None
+
+
+def _is_config_base(node: ast.expr) -> bool:
+    """``config`` / ``cfg`` / anything ending in ``.config``."""
+    if isinstance(node, ast.Name):
+        return node.id in _CONFIG_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr == "config"
+    return False
+
+
+def _declared_tuple(tree, name, required, findings, rule, relpath):
+    """A declared field tuple, validating it is a literal tuple of strings."""
+    value = module_constant(tree, name)
+    node = node_for_constant(tree, name)
+    if node is None:
+        if required:
+            findings.append(rule.finding(
+                relpath, 1, 0,
+                f"{name} not found as a module-level literal tuple — the "
+                f"cache-key audit has nothing to check against",
+            ))
+        return ()
+    if not (
+        isinstance(value, tuple)
+        and all(isinstance(item, str) for item in value)
+    ):
+        findings.append(rule.finding(
+            relpath, node.lineno, node.col_offset,
+            f"{name} must be a literal tuple of field-name strings",
+        ))
+        return ()
+    return value
+
+
+@register_rule
+class CacheKeyCoverageRule(Rule):
+    code = "RPR002"
+    name = "cache-key-coverage"
+    severity = Severity.ERROR
+    summary = (
+        "every PlannerConfig field read in core/precompute.py is declared "
+        "in PRECOMPUTE_CONFIG_FIELDS (cache-keyed) or REBIND_CONFIG_FIELDS "
+        "(rebind-healed)"
+    )
+
+    def check(self, ctx):
+        config_mod = ctx.get(CONFIG_MODULE)
+        pre_mod = ctx.get(PRECOMPUTE_MODULE)
+        if config_mod is None or pre_mod is None:
+            return  # fixture tree without this subsystem: nothing to pin
+        fields = planner_config_fields(config_mod.tree)
+        if fields is None:
+            yield self.finding(
+                CONFIG_MODULE, 1, 0,
+                f"class {CONFIG_CLASS} not found — RPR002 cannot audit "
+                f"cache-key coverage without it",
+            )
+            return
+
+        findings: list = []
+        keyed = _declared_tuple(
+            pre_mod.tree, KEYED_CONSTANT, True, findings, self,
+            PRECOMPUTE_MODULE,
+        )
+        rebind = _declared_tuple(
+            pre_mod.tree, REBIND_CONSTANT, False, findings, self,
+            PRECOMPUTE_MODULE,
+        )
+        yield from findings
+
+        for constant, declared in (
+            (KEYED_CONSTANT, keyed), (REBIND_CONSTANT, rebind),
+        ):
+            node = node_for_constant(pre_mod.tree, constant)
+            for name in declared:
+                if name not in fields:
+                    yield self.finding(
+                        PRECOMPUTE_MODULE,
+                        node.lineno if node else 1,
+                        node.col_offset if node else 0,
+                        f"{constant} names {name!r}, which is not a "
+                        f"{CONFIG_CLASS} field — a typo here guards nothing",
+                    )
+        overlap = sorted(set(keyed) & set(rebind))
+        if overlap:
+            node = node_for_constant(pre_mod.tree, REBIND_CONSTANT)
+            yield self.finding(
+                PRECOMPUTE_MODULE,
+                node.lineno if node else 1,
+                node.col_offset if node else 0,
+                f"fields {overlap} appear in both {KEYED_CONSTANT} and "
+                f"{REBIND_CONSTANT}; a field is either cache-keyed or "
+                f"rebind-healed, never both",
+            )
+
+        covered = set(keyed) | set(rebind)
+        seen: set = set()
+        for node in ast.walk(pre_mod.tree):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in fields
+                and _is_config_base(node.value)
+            ):
+                continue
+            if node.attr in covered:
+                continue
+            key = (node.lineno, node.attr)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                PRECOMPUTE_MODULE,
+                node.lineno,
+                node.col_offset,
+                f"config.{node.attr} is read here but {node.attr!r} is in "
+                f"neither {KEYED_CONSTANT} nor {REBIND_CONSTANT} — cached "
+                f"artifacts cannot see this knob (the PR 2 n_probes bug "
+                f"class); add it to the cache key, or to "
+                f"{REBIND_CONSTANT} if rebind() re-derives its effect",
+            )

@@ -1,0 +1,160 @@
+"""RPR004: every acquired file/socket handle has a provable owner.
+
+PR 6's never-entered ``Timer`` was this bug class: a resource acquired
+outside the pattern that was supposed to release it. For handles the
+failure is quieter — a leaked fd per call until a long-lived daemon
+hits ``EMFILE`` mid-sweep — so acquisition sites (``open``,
+``os.fdopen``, ``socket.socket``, ``socket.create_connection``) must
+sit inside one of the ownership shapes this rule can *prove*:
+
+* ``with open(...) as f`` — the canonical form;
+* ``return open(...)`` — ownership transfers to the caller whole;
+* ``self.attr = open(...)`` in a class that defines a release method
+  (``close``/``shutdown``/``stop``/``__exit__``/``__del__``) — the
+  instance owns it;
+* ``f = open(...)`` followed by a ``try`` whose ``finally`` calls
+  ``f.close()`` — explicit hand-rolled ownership;
+* ``f = open(...)`` where an exception handler closes ``f`` and ``f``
+  is later returned — the connect-then-handshake shape
+  (``connect_authenticated``): cleaned up on failure, transferred on
+  success.
+
+Deliberately **not** accepted: assign-then-later-``with f:``. The
+``with`` does close the handle on the happy path, but every statement
+between the assign and the ``with`` runs outside any ownership — the
+exact window where a refactor inserts an early return and starts
+leaking (this was live at ``sweep/report.py:466``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import (
+    ancestors,
+    class_method_names,
+    enclosing_class,
+    enclosing_function,
+    import_aliases,
+    resolve_call,
+    statements_after,
+    walk_calls,
+)
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Severity
+
+ACQUIRERS = frozenset({
+    "open", "os.fdopen", "socket.socket", "socket.create_connection",
+})
+
+RELEASE_METHODS = frozenset({
+    "close", "shutdown", "stop", "__exit__", "__del__",
+})
+
+
+def _closes_name(nodes, name: str) -> bool:
+    """Whether any node in ``nodes`` contains a ``name.close()`` call."""
+    for node in nodes:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "close"
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == name
+            ):
+                return True
+    return False
+
+
+def _returns_name(stmts, name: str) -> bool:
+    for stmt in stmts:
+        if (
+            isinstance(stmt, ast.Return)
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id == name
+        ):
+            return True
+    return False
+
+
+def _owning_statement(call: ast.Call) -> "ast.stmt | None":
+    """The statement the call belongs to, unless a nearer owner exists.
+
+    Returns ``None`` when the call is already owned structurally (a
+    ``with`` item or a ``return``).
+    """
+    for anc in ancestors(call):
+        if isinstance(anc, ast.withitem):
+            return None
+        if isinstance(anc, ast.Return):
+            return None
+        if isinstance(anc, ast.stmt):
+            return anc
+    return None
+
+
+@register_rule
+class ResourceSafetyRule(Rule):
+    code = "RPR004"
+    name = "resource-safety"
+    severity = Severity.WARNING
+    summary = (
+        "open()/socket() results are owned: with-block, returned, "
+        "stored on a class with a release method, or closed in "
+        "try/finally"
+    )
+
+    def check(self, ctx):
+        for module in ctx.walk():
+            aliases = import_aliases(module.tree)
+            for call in walk_calls(module.tree):
+                canonical = resolve_call(call, aliases)
+                if canonical not in ACQUIRERS:
+                    continue
+                finding = self._check_call(module, call, canonical)
+                if finding is not None:
+                    yield finding
+
+    def _check_call(self, module, call, canonical):
+        stmt = _owning_statement(call)
+        if stmt is None:
+            return None  # with-item or returned: structurally owned
+
+        leak = self.finding(
+            module.relpath, call.lineno, call.col_offset,
+            f"{canonical}() result has no provable owner — use a with "
+            f"block, return it directly, store it on a class with a "
+            f"release method, or close it in a try/finally",
+        )
+
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            return leak  # discarded or passed straight into another call
+        target = stmt.targets[0]
+
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ) and target.value.id == "self":
+            cls = enclosing_class(call)
+            if cls is not None and class_method_names(cls) & RELEASE_METHODS:
+                return None
+            return leak
+
+        if not isinstance(target, ast.Name):
+            return leak
+        name = target.id
+        func = enclosing_function(call)
+        if func is None:
+            return leak  # module-level acquisition: nothing owns it
+        following = statements_after(func, stmt)
+        for later in following:
+            if isinstance(later, ast.Try) and _closes_name(
+                later.finalbody, name
+            ):
+                return None  # try/finally ownership
+            if isinstance(later, ast.Try) and _closes_name(
+                [h for handler in later.handlers for h in handler.body],
+                name,
+            ) and _returns_name(following, name):
+                return None  # cleanup-on-failure + ownership transfer
+        return leak

@@ -1,0 +1,262 @@
+"""RPR003: wire/record constructors and their parsers agree on keys.
+
+The fabric's dict-shaped contracts — outcome wire records, handshake
+and job frames, registry records and ops — are each written by one
+function and consumed by another, usually on a different host and
+possibly a different build. A key added to the writer that the reader
+never consumes (or a reader ``.get`` of a key nobody writes anymore —
+the rename-half-done bug) drifts silently until a mixed-version
+deployment produces wrong numbers.
+
+This rule pins every pair. The model is deliberately *flat and
+literal*: writer keys are the string keys of dict literals and
+``rec["k"] = ...`` stores in the declared writer functions; reader keys
+are ``rec["k"]`` loads plus ``.get("k")`` / ``.pop("k")`` calls in the
+declared readers. Computed keys and ``**spreads`` are invisible — wire
+constructors must stay flat so the schema is auditable by humans too.
+
+Keys that legitimately travel one way (display provenance the reader
+ignores, context fields the parent rebuilds from its own state) are
+declared per pair in ``write_only`` with a reason. **Every pair's
+exemption table is audited against a pinned wire-version value** — if
+``SCHEMA_VERSION`` / ``PROTOCOL_VERSION`` / ``REGISTRY_SCHEMA_VERSION``
+moves, the rule fails until the pin (and therefore the exemptions) are
+re-audited. That is the mechanism by which "an asymmetric key forces a
+version bump" also runs in reverse: a version bump forces the schema
+audit.
+
+The ``_STREAM_ENVELOPE`` key ``cache_key`` is consumed across module
+boundaries (``sweep/runner.py`` resume matching), which this per-pair
+model does not chase — it is exempted with that reason below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import (
+    module_constant,
+    module_functions,
+    read_keys,
+    written_keys,
+)
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Severity
+
+
+@dataclass(frozen=True)
+class WirePair:
+    """One writer→reader contract inside a single module."""
+
+    name: str
+    module: str
+    writers: "tuple[str, ...]"
+    readers: "tuple[str, ...]"
+    version_name: str
+    version_value: object
+    write_only: "tuple[str, ...]" = ()
+    """Keys that travel but are (by design) never consumed by the
+    paired reader — each entry must have a reason in WIRE_PAIRS."""
+
+
+WIRE_PAIRS = (
+    WirePair(
+        name="plan-result wire record",
+        module="sweep/report.py",
+        writers=("result_wire_record",),
+        readers=("result_from_wire",),
+        version_name="SCHEMA_VERSION",
+        version_value=1,
+    ),
+    WirePair(
+        name="scenario-outcome wire record",
+        module="sweep/report.py",
+        writers=("outcome_wire_record", "scenario_record"),
+        readers=("outcome_from_wire_record",),
+        version_name="SCHEMA_VERSION",
+        version_value=1,
+        # Scenario-identity and report-display fields: the parent
+        # rebuilds outcome.scenario from its own resolved Scenario (the
+        # wire carries them for humans/transports reading the frame as
+        # a stream record), and "results" is the rounded report form
+        # whose lossless twin "results_wire" is what gets parsed.
+        write_only=(
+            "name", "city", "profile", "method", "route_count", "seed",
+            "overrides", "constraints", "ok", "results",
+        ),
+    ),
+    WirePair(
+        name="stream envelope",
+        module="sweep/report.py",
+        writers=("stream_scenario_record",),
+        readers=("read_stream", "StreamRecords.committed"),
+        version_name="SCHEMA_VERSION",
+        version_value=1,
+        # Consumed cross-module by sweep/runner.py resume matching
+        # (record.get("cache_key") against the current content hash);
+        # this per-pair model only chases same-module readers.
+        write_only=("cache_key",),
+    ),
+    WirePair(
+        name="handshake: daemon to client",
+        module="sweep/remote.py",
+        writers=("server_handshake",),
+        readers=("client_handshake",),
+        version_name="PROTOCOL_VERSION",
+        version_value=2,
+    ),
+    WirePair(
+        name="handshake: client to daemon",
+        module="sweep/remote.py",
+        writers=("client_handshake",),
+        readers=("server_handshake",),
+        version_name="PROTOCOL_VERSION",
+        version_value=2,
+    ),
+    WirePair(
+        name="job request: driver to worker",
+        module="sweep/remote.py",
+        writers=("RemoteBackend._run_shard",),
+        readers=("WorkerServer.handle_op", "WorkerServer._run_job"),
+        version_name="PROTOCOL_VERSION",
+        version_value=2,
+    ),
+    WirePair(
+        name="worker replies: worker to driver",
+        module="sweep/remote.py",
+        writers=("WorkerServer.handle_op", "WorkerServer._run_job"),
+        readers=("RemoteBackend._run_shard", "ping"),
+        version_name="PROTOCOL_VERSION",
+        version_value=2,
+        # Pong diagnostics (surfaced verbatim by `repro worker ping`)
+        # and the done-frame bookkeeping count; the driver's shard
+        # accounting is index-based and ignores them.
+        write_only=(
+            "protocol", "pid", "cache_dir", "capacity",
+            "cache_fingerprint", "n_executed",
+        ),
+    ),
+    WirePair(
+        name="worker registry record",
+        module="sweep/registry.py",
+        writers=("WorkerRecord.as_record",),
+        readers=("worker_record_from",),
+        version_name="REGISTRY_SCHEMA_VERSION",
+        version_value=1,
+    ),
+    WirePair(
+        name="registry ops: client to server",
+        module="sweep/registry.py",
+        writers=(
+            "TcpRegistry.register", "TcpRegistry.deregister",
+            "TcpRegistry.live_workers",
+        ),
+        readers=("RegistryServer.handle_op",),
+        version_name="REGISTRY_SCHEMA_VERSION",
+        version_value=1,
+        # Redundant with the handshake, which already rejects protocol
+        # mismatches before any op frame is parsed; kept on the wire so
+        # op frames are self-describing in captures.
+        write_only=("protocol",),
+    ),
+    WirePair(
+        name="registry replies: server to client",
+        module="sweep/registry.py",
+        writers=("RegistryServer.handle_op",),
+        readers=("TcpRegistry._call", "TcpRegistry.live_workers"),
+        version_name="REGISTRY_SCHEMA_VERSION",
+        version_value=1,
+        # Pong diagnostics (role/pid/ttl/n_workers, surfaced verbatim
+        # by `repro registry ping`) and the registered-ack's ttl echo.
+        write_only=("protocol", "role", "pid", "ttl", "n_workers"),
+    ),
+    WirePair(
+        name="file-registry document",
+        module="sweep/registry.py",
+        writers=("FileRegistry.register", "FileRegistry._read"),
+        readers=(
+            "FileRegistry._read", "FileRegistry.live_workers",
+            "FileRegistry.deregister",
+        ),
+        version_name="REGISTRY_SCHEMA_VERSION",
+        version_value=1,
+    ),
+)
+
+
+@register_rule
+class WireSchemaParityRule(Rule):
+    code = "RPR003"
+    name = "wire-schema-parity"
+    severity = Severity.ERROR
+    summary = (
+        "record-constructor keys match their paired parser's consumed "
+        "keys; asymmetric keys require a declared exemption audited "
+        "against the pinned wire version"
+    )
+
+    def check(self, ctx):
+        for pair in WIRE_PAIRS:
+            module = ctx.get(pair.module)
+            if module is None:
+                continue  # fixture tree without this module
+            functions = module_functions(module.tree)
+            names = pair.writers + pair.readers
+            present = [n for n in names if n in functions]
+            if not present:
+                continue  # module exists but carries none of the pair
+            missing = [n for n in names if n not in functions]
+            if missing:
+                yield self.finding(
+                    pair.module, 1, 0,
+                    f"wire pair '{pair.name}' expects function(s) "
+                    f"{missing} which no longer exist — update the pair "
+                    f"table in analysis/rules/wire_schema.py",
+                )
+                continue
+
+            version = module_constant(module.tree, pair.version_name)
+            if version != pair.version_value:
+                yield self.finding(
+                    pair.module, 1, 0,
+                    f"wire pair '{pair.name}' was audited against "
+                    f"{pair.version_name}={pair.version_value!r} but the "
+                    f"module now declares {version!r} — re-audit the "
+                    f"pair's key exemptions in "
+                    f"analysis/rules/wire_schema.py and update its pin",
+                )
+                continue
+
+            written: set = set()
+            for name in pair.writers:
+                written |= written_keys(functions[name])
+            read: set = set()
+            for name in pair.readers:
+                read |= read_keys(functions[name])
+
+            anchor = functions[pair.writers[0]]
+            for key in sorted(written - read - set(pair.write_only)):
+                yield self.finding(
+                    pair.module, anchor.lineno, anchor.col_offset,
+                    f"wire pair '{pair.name}': key {key!r} is written but "
+                    f"never consumed by {'/'.join(pair.readers)} — consume "
+                    f"it, drop it, or bump {pair.version_name} and declare "
+                    f"it write_only in analysis/rules/wire_schema.py",
+                )
+            reader_anchor = functions[pair.readers[0]]
+            for key in sorted(read - written):
+                yield self.finding(
+                    pair.module, reader_anchor.lineno,
+                    reader_anchor.col_offset,
+                    f"wire pair '{pair.name}': reader consumes key {key!r} "
+                    f"which no writer in {'/'.join(pair.writers)} produces "
+                    f"— a renamed or removed field leaves this read "
+                    f"permanently empty",
+                )
+            for key in sorted(set(pair.write_only) & read):
+                yield self.finding(
+                    pair.module, anchor.lineno, anchor.col_offset,
+                    f"wire pair '{pair.name}': key {key!r} is declared "
+                    f"write_only but the reader now consumes it — remove "
+                    f"the stale exemption",
+                )

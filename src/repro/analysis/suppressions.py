@@ -1,0 +1,108 @@
+"""Inline suppressions: a ``repro: ignore[RPR001]`` comment.
+
+A suppression comment silences the named rules *on its own line only*
+— there is no file- or block-level form, deliberately: a wide
+suppression is how invariants rot. The engine tracks which
+suppressions actually matched a finding; a stale one is itself
+reported (see :data:`repro.analysis.engine.UNUSED_SUPPRESSION_CODE`),
+so suppressions cannot silently outlive the code they excused.
+
+Only real comment tokens count (the source is tokenized, not
+pattern-matched line by line), so documentation that merely *mentions*
+the suppression syntax in a string or docstring does not activate it.
+
+Policy (docs/static-analysis.md): the shipped ``src/repro`` tree stays
+at **zero findings with zero suppressions**; the comment form exists
+for downstream forks and for staging a fix across commits, not as a
+steady state.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One suppression comment: the line it sits on and its codes."""
+
+    relpath: str
+    line: int
+    codes: tuple
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppression comments of a project, queryable per finding."""
+
+    by_location: dict = field(default_factory=dict)
+    """``(relpath, line) -> Suppression``."""
+    used: set = field(default_factory=set)
+    """``(relpath, line)`` of suppressions that matched a finding."""
+
+    def add(self, suppression: Suppression) -> None:
+        self.by_location[(suppression.relpath, suppression.line)] = suppression
+
+    def matches(self, relpath: str, line: int, code: str) -> bool:
+        """True (and marked used) when a suppression covers the finding."""
+        suppression = self.by_location.get((relpath, line))
+        if suppression is None or code not in suppression.codes:
+            return False
+        self.used.add((relpath, line))
+        return True
+
+    def unused(self) -> "list[Suppression]":
+        """Suppressions that silenced nothing, in file/line order."""
+        return sorted(
+            (
+                s
+                for key, s in self.by_location.items()
+                if key not in self.used
+            ),
+            key=lambda s: (s.relpath, s.line),
+        )
+
+
+def _comment_tokens(source: str):
+    """``(lineno, text)`` of every comment token; tolerant of tail damage.
+
+    The project loader has already proven the file parses, so tokenize
+    errors here would only come from exotic encodings — swallow them
+    after yielding what was tokenized rather than failing the check.
+    """
+    readline = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except tokenize.TokenError:
+        return
+
+
+def scan_suppressions(modules) -> SuppressionIndex:
+    """Collect every suppression comment across ``modules``.
+
+    Codes are normalized to upper case; a comment listing several codes
+    (``repro: ignore[RPR004, RPR005]``) suppresses each of them.
+    """
+    index = SuppressionIndex()
+    for module in modules:
+        for lineno, text in _comment_tokens(module.source):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            if codes:
+                index.add(Suppression(module.relpath, lineno, codes))
+    return index

@@ -17,6 +17,7 @@ import os
 from repro.core.config import PlannerConfig
 from repro.core.precompute import Precomputation, precompute
 from repro.data.datasets import Dataset, borough_like, chicago_like, nyc_like
+from repro.utils.fsio import atomic_write_text
 
 CITIES = ("chicago", "nyc")
 BOROUGHS = ("manhattan", "queens", "brooklyn", "staten_island", "bronx")
@@ -83,8 +84,9 @@ def report(name: str, text: str) -> None:
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
         safe = name.replace(" ", "_").replace("/", "-")
-        with open(os.path.join(out_dir, f"{safe}.txt"), "w") as f:
-            f.write(text + "\n")
+        atomic_write_text(
+            os.path.join(out_dir, f"{safe}.txt"), text + "\n"
+        )
 
 
 def all_reports() -> dict[str, str]:

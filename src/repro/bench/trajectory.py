@@ -49,6 +49,7 @@ from repro.sweep.cache import PrecomputationCache
 from repro.sweep.runner import SweepRunner
 from repro.sweep.scenario import expand_grid
 from repro.utils.errors import DataError
+from repro.utils.fsio import atomic_write_text
 from repro.utils.timing import Timer
 
 BENCH_SCHEMA_VERSION = 1
@@ -367,7 +368,9 @@ def write_snapshot(snapshot: dict, out_dir: str = ".") -> str:
     """Write ``snapshot`` as ``BENCH_<area>.json`` under ``out_dir``."""
     os.makedirs(out_dir, exist_ok=True)
     path = snapshot_path(snapshot["area"], out_dir)
-    with open(path, "w") as f:
-        json.dump(snapshot, f, indent=2, sort_keys=True)
-        f.write("\n")
+    # Atomic: the CI trend gate diffs this file against the committed
+    # baseline — a torn snapshot must fail loudly, not compare quietly.
+    atomic_write_text(
+        path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
     return path

@@ -26,6 +26,10 @@ Commands
              (the CI perf gate).
 ``removal``  the Figure 1 analysis: connectivity under route removal.
 ``bounds``   evaluate the three upper bounds on a city (Table 3 style).
+``check``    run the invariant-aware static analysis suite (rules
+             RPR001-RPR005: determinism, cache-key coverage, wire-schema
+             parity, resource safety, atomic writes) over the source
+             tree; ``--strict`` also fails on warnings (the CI mode).
 
 The full flag-by-flag reference, including exit-code semantics, lives
 in ``docs/cli.md``.
@@ -55,6 +59,8 @@ Examples::
     python -m repro bench compare BENCH_cache.json --max-regress 20%
     python -m repro removal --city nyc --profile small
     python -m repro bounds --city chicago --k 15
+    python -m repro check --strict
+    python -m repro check src/repro --select RPR002,RPR003 --format json
 """
 
 from __future__ import annotations
@@ -629,6 +635,53 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
+def _split_codes(text: str) -> "list[str] | None":
+    """``"RPR001, rpr002"`` → ``["RPR001", "rpr002"]``; empty → ``None``."""
+    codes = [code.strip() for code in text.split(",") if code.strip()]
+    return codes or None
+
+
+def _cmd_check(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import all_rules, run_check
+    from repro.analysis.engine import render_text
+
+    if args.list_rules:
+        rows = [
+            [rule.code, str(rule.severity), rule.summary]
+            for rule in all_rules()
+        ]
+        print(format_table(["code", "severity", "invariant"], rows,
+                           title="repro check rules"))
+        return 0
+
+    root = args.root
+    if not root:
+        # Default to the installed package: `repro check` anywhere means
+        # "check this build's own source tree".
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    try:
+        run = run_check(
+            root,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except (DataError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        # Stable for CI artifact diffing: sorted findings (engine),
+        # sorted keys, relative paths, nothing volatile.
+        print(json.dumps(run.to_record(), indent=2, sort_keys=True))
+    else:
+        print(render_text(run, strict=args.strict))
+    return 1 if run.failed(strict=args.strict) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -868,6 +921,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_city_args(p_bounds)
     p_bounds.add_argument("--k", type=int, default=15)
     p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_check = sub.add_parser(
+        "check",
+        help="invariant-aware static analysis (determinism, cache keys, "
+             "wire schemas, resource safety, atomic writes)",
+    )
+    p_check.add_argument("root", nargs="?", default="",
+                         help="directory or file to check (default: this "
+                              "build's installed repro package)")
+    p_check.add_argument("--strict", action="store_true",
+                         help="fail (exit 1) on warnings too, not just "
+                              "errors — the CI mode")
+    p_check.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="text: one line per finding; json: stable "
+                              "machine-readable document (sorted, "
+                              "relative paths, diffable in CI)")
+    p_check.add_argument("--select", default="", metavar="CODES",
+                         help="comma-separated rule codes to run "
+                              "(default: all registered rules)")
+    p_check.add_argument("--ignore", default="", metavar="CODES",
+                         help="comma-separated rule codes to skip")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalog and exit")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -36,6 +36,7 @@ from repro.spectral.connectivity import NaturalConnectivityEstimator
 from repro.spectral.eigs import top_k_eigenvalues
 from repro.spectral.sketch import ExpmSketch
 from repro.utils.errors import DataError
+from repro.utils.fsio import atomic_write_text
 from repro.utils.timing import Timer
 
 ARTIFACT_FORMAT = 2
@@ -52,6 +53,16 @@ Everything else (``k``, ``w``, ``seed_count``, traversal knobs, ...)
 only affects the cheap derived state that :func:`rebind` re-creates, so
 saved artifacts are shared across those sweeps.
 """
+
+REBIND_CONFIG_FIELDS = ("k", "w")
+"""Config fields this module reads that are *deliberately* outside the
+cache key: they only shape the cheap derived state (ranked lists,
+normalizers, bounds) that :func:`rebind`/:meth:`Precomputation.load`
+re-derive per config, so cached artifacts stay valid across ``k``/``w``
+sweeps. ``repro check`` (rule RPR002) audits that every config field
+read here is declared either precompute-relevant (above, cache-keyed)
+or rebind-healed (this tuple) — an undeclared read is the PR 2
+``n_probes`` bug class."""
 
 
 @dataclass
@@ -131,8 +142,12 @@ class Precomputation:
             "config": asdict(self.config),
             "timings": self.timings,
         }
-        with open(json_path, "w") as f:
-            json.dump(meta, f, indent=1, sort_keys=True)
+        # Atomic: the json half is the artifact pair's validity marker —
+        # a torn one would make Precomputation.load reject (or worse,
+        # mis-validate) an otherwise good npz.
+        atomic_write_text(
+            json_path, json.dumps(meta, indent=1, sort_keys=True)
+        )
         return npz_path, json_path
 
     @classmethod

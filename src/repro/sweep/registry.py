@@ -62,6 +62,7 @@ from repro.sweep.remote import (
     send_frame,
 )
 from repro.utils.errors import DataError, PlanningError
+from repro.utils.timing import wall_clock
 
 DEFAULT_TTL = 30.0
 """Seconds a registration stays live without a fresh heartbeat."""
@@ -216,7 +217,7 @@ class FileRegistry(Registry):
     # ------------------------------------------------------------------
     def register(self, record: WorkerRecord) -> None:
         doc = self._read()
-        stamped = replace(record, last_seen=time.time())
+        stamped = replace(record, last_seen=wall_clock())
         entry = stamped.as_record()
         # Liveness is judged by the monotonic stamp (same host, same
         # boot, so writer and reader share the clock); the wall-clock
@@ -233,7 +234,7 @@ class FileRegistry(Registry):
 
     def live_workers(self) -> list:
         now = time.monotonic()
-        wall_cutoff = time.time() - self.ttl
+        wall_cutoff = wall_clock() - self.ttl
         live = []
         for spec in self._read()["workers"].values():
             spec = dict(spec)
@@ -366,7 +367,7 @@ class RegistryServer(FrameServer):
         clock — display provenance only; the liveness stamp pruned
         against ``ttl`` is monotonic and never leaves the server.
         """
-        stamped = replace(record, last_seen=time.time())
+        stamped = replace(record, last_seen=wall_clock())
         now = self._clock()
         with self._lock:
             self._prune(now)

@@ -119,6 +119,7 @@ import threading
 import time
 import warnings
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.config import PlannerConfig
 from repro.sweep.backends import ExecutionBackend, failure_outcome, make_shards
@@ -126,6 +127,9 @@ from repro.sweep.report import outcome_from_wire_record, outcome_wire_record
 from repro.sweep.runner import ScenarioOutcome, execute_scenario
 from repro.sweep.scenario import scenario_from_spec, scenario_spec
 from repro.utils.errors import PlanningError
+
+if TYPE_CHECKING:  # runtime import would cycle (registry imports us)
+    from repro.sweep.registry import Registry
 
 PROTOCOL_VERSION = 2
 """Bump on backwards-incompatible wire changes (frames carry it).
@@ -842,8 +846,8 @@ class RemoteBackend(ExecutionBackend):
                     f"worker weights must be >= 1, got {weights}"
                 )
             self.weights = weights
-        self._registry_client_cache = None
-        self._roster_cache = None
+        self._registry_client_cache: "Registry | None" = None
+        self._roster_cache: "list[tuple[str, int]] | None" = None
 
     # ------------------------------------------------------------------
     def _registry_client(self):

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.result import PlannedRoute, PlanResult
 from repro.sweep.scenario import constraints_record as _constraints_record
 from repro.utils.errors import DataError
+from repro.utils.fsio import atomic_write_text
 
 SCHEMA_VERSION = 1
 """Bump on backwards-incompatible changes to the report/stream layout.
@@ -185,9 +186,12 @@ class SweepReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path: str) -> None:
-        """Write the JSON document to ``path`` (trailing newline included)."""
-        with open(path, "w") as f:
-            f.write(self.to_json() + "\n")
+        """Write the JSON document to ``path`` (trailing newline included).
+
+        Atomic (stage + rename): re-exporting over an existing report
+        must never leave a torn document where a complete one was.
+        """
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -468,7 +472,7 @@ def read_stream(path: str, missing_ok: bool = False) -> StreamRecords:
         if missing_ok:
             return out
         raise DataError(f"stream file not found: {path!r}") from None
-    with f:
+    try:
         lineno = 0
         for line in f:
             lineno += 1
@@ -499,4 +503,6 @@ def read_stream(path: str, missing_ok: bool = False) -> StreamRecords:
                 out.scenarios.append(record)
             elif kind == RECORD_SUMMARY:
                 out.summary = record
+    finally:
+        f.close()
     return out

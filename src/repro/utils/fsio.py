@@ -1,0 +1,45 @@
+"""Atomic file writes: stage in the target directory, then rename.
+
+Durable artifacts (sweep reports, registry documents, precompute
+metadata, benchmark snapshots) are read back by other processes —
+resumed sweeps, concurrent discovery, CI gates. A bare
+``open(path, "w")`` truncates the existing contents before the new
+ones land, so a crash or a concurrent reader mid-write observes a torn
+file. :func:`atomic_write_text` writes to a temporary file *in the
+destination directory* (same filesystem, so the rename cannot degrade
+to a copy) and ``os.replace``\\ s it over the target: readers see the
+old complete document or the new one, never a prefix. ``repro check``
+rule RPR005 enforces this idiom for the artifact-writing modules.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path``'s contents with ``text`` atomically.
+
+    The staging file is fsync'd before the rename so the *contents*
+    are durable by the time the new name is visible, and unlinked on
+    any failure so aborted writes leave no ``.tmp-`` litter next to
+    the artifact.
+    """
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.tmp-"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -45,6 +45,22 @@ class Timer:
         return self._start
 
 
+def wall_clock() -> float:
+    """The wall-clock time, for *display provenance only*.
+
+    This is ``time.time()`` behind a name that marks intent: the caller
+    wants a human-meaningful timestamp to show or serialize (registry
+    ``last_seen``, report provenance), never an input to liveness,
+    measurement, or results — those must use ``time.monotonic()`` /
+    ``time.perf_counter()``, which NTP steps cannot move. ``repro
+    check`` (rule RPR001) bans bare ``time.time()`` in ``core/``,
+    ``spectral/`` and ``sweep/``; routing a deliberate wall-clock read
+    through this helper is the sanctioned exception, and keeps every
+    such site greppable.
+    """
+    return time.time()
+
+
 def format_seconds(seconds: float) -> str:
     """Render a duration compactly.
 

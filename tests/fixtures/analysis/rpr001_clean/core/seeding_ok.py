@@ -1,0 +1,19 @@
+"""Fixture: sanctioned RNG and clocks inside core/ (RPR001-clean)."""
+
+import time
+
+from repro.utils.prng import ensure_rng
+from repro.utils.timing import wall_clock
+
+
+def sample(seed, n):
+    rng = ensure_rng(seed)
+    return rng.random(n)
+
+
+def elapsed(t0):
+    return time.monotonic() - t0
+
+
+def stamp():
+    return wall_clock()

@@ -1,0 +1,18 @@
+"""Fixture: ambient RNG and wall clock inside core/ (RPR001)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def sample(n):
+    return np.random.rand(n)
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,8 @@
+"""Fixture PlannerConfig for the RPR002 end-to-end guard."""
+
+
+class PlannerConfig:
+    k: int = 30
+    w: float = 0.5
+    n_probes: int = 4
+    seed: int = 0

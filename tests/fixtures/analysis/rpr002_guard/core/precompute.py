@@ -1,0 +1,13 @@
+"""Fixture precompute module, fully covered (RPR002 guard baseline).
+
+The guard test copies this tree, appends a synthetic config read, and
+asserts that ``repro check`` flips from exit 0 to exit 1 — pinning the
+whole pipeline (field discovery, declared tuples, CLI exit code).
+"""
+
+PRECOMPUTE_CONFIG_FIELDS = ("seed", "n_probes")
+REBIND_CONFIG_FIELDS = ("k",)
+
+
+def precompute(dataset, config):
+    return config.seed + config.k + config.n_probes

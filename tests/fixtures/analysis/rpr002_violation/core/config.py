@@ -1,0 +1,8 @@
+"""Fixture PlannerConfig for the RPR002 cache-key audit."""
+
+
+class PlannerConfig:
+    k: int = 30
+    w: float = 0.5
+    n_probes: int = 4
+    seed: int = 0

@@ -1,0 +1,9 @@
+"""Fixture precompute module with an undeclared config read (RPR002)."""
+
+PRECOMPUTE_CONFIG_FIELDS = ("seed",)
+REBIND_CONFIG_FIELDS = ("k",)
+
+
+def precompute(dataset, config):
+    probes = config.n_probes
+    return config.seed + config.k + probes

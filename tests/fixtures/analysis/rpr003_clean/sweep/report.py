@@ -1,0 +1,17 @@
+"""Fixture wire module: symmetric writer/reader (RPR003-clean)."""
+
+SCHEMA_VERSION = 1
+
+
+def result_wire_record(result):
+    return {
+        "schema": SCHEMA_VERSION,
+        "objective": result.objective,
+    }
+
+
+def result_from_wire(record):
+    return {
+        "schema": record["schema"],
+        "objective": record["objective"],
+    }

@@ -1,0 +1,17 @@
+"""Fixture wire module: symmetric keys but a moved version pin (RPR003)."""
+
+SCHEMA_VERSION = 99
+
+
+def result_wire_record(result):
+    return {
+        "schema": SCHEMA_VERSION,
+        "objective": result.objective,
+    }
+
+
+def result_from_wire(record):
+    return {
+        "schema": record["schema"],
+        "objective": record["objective"],
+    }

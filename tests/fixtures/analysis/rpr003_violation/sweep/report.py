@@ -1,0 +1,19 @@
+"""Fixture wire module: writer/reader key drift (RPR003)."""
+
+SCHEMA_VERSION = 1
+
+
+def result_wire_record(result):
+    return {
+        "schema": SCHEMA_VERSION,
+        "objective": result.objective,
+        "runtime": result.runtime,
+    }
+
+
+def result_from_wire(record):
+    return {
+        "schema": record["schema"],
+        "objective": record["objective"],
+        "elapsed": record.get("elapsed"),
+    }

@@ -1,0 +1,39 @@
+"""Fixture: every ownership shape RPR004 can prove (RPR004-clean)."""
+
+import json
+import socket
+
+
+class Held:
+    def __init__(self, path):
+        self.f = open(path)
+
+    def close(self):
+        self.f.close()
+
+
+def with_block(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def transferred(path):
+    return open(path)
+
+
+def try_finally(path):
+    f = open(path)
+    try:
+        return json.load(f)
+    finally:
+        f.close()
+
+
+def connect(host, port):
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"hello")
+    except BaseException:
+        sock.close()
+        raise
+    return sock

@@ -1,0 +1,15 @@
+"""Fixture: file handle with no provable owner (RPR004).
+
+The happy-path ``close()`` is not ownership — any exception between
+the ``open`` and the ``close`` leaks the handle (the shape that was
+live at ``sweep/report.py:466``).
+"""
+
+import json
+
+
+def read_report(path):
+    f = open(path)
+    data = json.load(f)
+    f.close()
+    return data

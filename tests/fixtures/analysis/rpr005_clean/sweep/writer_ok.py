@@ -1,0 +1,11 @@
+"""Fixture: stage-then-rename write (RPR005-clean)."""
+
+import json
+import os
+
+
+def write_report(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)

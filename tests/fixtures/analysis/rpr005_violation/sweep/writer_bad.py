@@ -1,0 +1,8 @@
+"""Fixture: bare truncating write of a durable artifact (RPR005)."""
+
+import json
+
+
+def write_report(path, payload):
+    with open(path, "w") as f:
+        json.dump(payload, f)

@@ -1,0 +1,5 @@
+"""Fixture: a suppression with nothing to suppress (RPR900)."""
+
+
+def add(a, b):
+    return a + b  # repro: ignore[RPR001]

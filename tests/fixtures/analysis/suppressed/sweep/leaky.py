@@ -1,0 +1,6 @@
+"""Fixture: a finding silenced by an inline suppression."""
+
+
+def read_all(path):
+    f = open(path)  # repro: ignore[RPR004]
+    return f.read()

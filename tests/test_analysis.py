@@ -1,0 +1,349 @@
+"""Tests for the ``repro.analysis`` static-analysis suite.
+
+Framework units (project loading, suppressions, registry, engine) plus
+per-rule positive/negative runs against the fixture trees under
+``tests/fixtures/analysis/`` — each violation fixture must produce the
+rule's finding at a pinned ``file:line``, and each clean fixture must
+produce none.
+"""
+
+import ast
+import os
+import textwrap
+import types
+
+import pytest
+
+from repro.analysis import (
+    AnalysisRun,
+    Severity,
+    all_rules,
+    get_rule,
+    load_project,
+    register_rule,
+    run_check,
+)
+from repro.analysis.astutil import (
+    import_aliases,
+    read_keys,
+    resolve_call,
+    walk_calls,
+    written_keys,
+)
+from repro.analysis.base import Rule
+from repro.analysis.engine import render_text, select_rules
+from repro.analysis.suppressions import scan_suppressions
+from repro.utils.errors import DataError, ValidationError
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def check(name: str, **kwargs) -> AnalysisRun:
+    return run_check(fixture(name), **kwargs)
+
+
+def locations(run: AnalysisRun) -> "list[tuple[str, str, int]]":
+    return [(f.code, f.path, f.line) for f in run.findings]
+
+
+class TestRegistry:
+    def test_all_rules_catalog(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        for expected in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert expected in codes
+
+    def test_rules_carry_metadata(self):
+        for rule in all_rules():
+            assert rule.name and rule.summary
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+    def test_get_rule_unknown_code(self):
+        with pytest.raises(ValidationError, match="unknown rule code"):
+            get_rule("RPR999")
+
+    def test_register_rejects_malformed_code(self):
+        with pytest.raises(ValidationError, match="does not match"):
+            @register_rule
+            class Bad(Rule):
+                code = "XYZ1"
+                name = "bad"
+                summary = "bad"
+
+    def test_register_rejects_duplicate_code(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            @register_rule
+            class Clash(Rule):
+                code = "RPR001"
+                name = "clash"
+                summary = "clash"
+
+    def test_register_requires_name_and_summary(self):
+        with pytest.raises(ValidationError, match="name and summary"):
+            @register_rule
+            class Nameless(Rule):
+                code = "RPR998"
+
+
+class TestProjectLoading:
+    def test_missing_root_raises(self):
+        with pytest.raises(DataError):
+            load_project(os.path.join(FIXTURES, "does_not_exist"))
+
+    def test_syntax_error_raises_data_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        with pytest.raises(DataError, match="broken.py"):
+            load_project(str(tmp_path))
+
+    def test_relpaths_are_posix(self):
+        ctx = load_project(fixture("rpr001_violation"))
+        assert list(ctx.modules) == ["core/seeding_bad.py"]
+
+    def test_parents_attached(self):
+        ctx = load_project(fixture("rpr001_violation"))
+        module = ctx.get("core/seeding_bad.py")
+        call = next(walk_calls(module.tree))
+        assert hasattr(call, "parent")
+
+
+class TestSelectRules:
+    def test_default_is_all(self):
+        assert [r.code for r in select_rules()] == [
+            r.code for r in all_rules()
+        ]
+
+    def test_select_is_case_insensitive(self):
+        assert [r.code for r in select_rules(select=["rpr004"])] == ["RPR004"]
+
+    def test_ignore_removes(self):
+        codes = [r.code for r in select_rules(ignore=["RPR001", "rpr003"])]
+        assert "RPR001" not in codes and "RPR003" not in codes
+        assert "RPR002" in codes
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValidationError):
+            select_rules(select=["RPR999"])
+        with pytest.raises(ValidationError):
+            select_rules(ignore=["RPR999"])
+
+
+class TestRPR001Determinism:
+    def test_violations_pinned(self):
+        run = check("rpr001_violation", select=["RPR001"])
+        assert locations(run) == [
+            ("RPR001", "core/seeding_bad.py", 10),
+            ("RPR001", "core/seeding_bad.py", 14),
+            ("RPR001", "core/seeding_bad.py", 18),
+        ]
+        messages = " ".join(f.message for f in run.findings)
+        assert "random.random()" in messages
+        assert "numpy.random.rand()" in messages
+        assert "time.time()" in messages
+
+    def test_clean_tree(self):
+        assert check("rpr001_clean").findings == []
+
+    def test_errors_fail_without_strict(self):
+        run = check("rpr001_violation", select=["RPR001"])
+        assert run.failed(strict=False)
+
+
+class TestRPR002CacheKey:
+    def test_undeclared_read_pinned(self):
+        run = check("rpr002_violation", select=["RPR002"])
+        assert locations(run) == [("RPR002", "core/precompute.py", 8)]
+        assert "n_probes" in run.findings[0].message
+        assert "PRECOMPUTE_CONFIG_FIELDS" in run.findings[0].message
+
+    def test_covered_reads_are_clean(self):
+        assert check("rpr002_guard").findings == []
+
+    def test_declared_reads_not_flagged(self):
+        # The violation fixture also reads config.seed (keyed) and
+        # config.k (rebind) on line 9; only n_probes is undeclared.
+        run = check("rpr002_violation", select=["RPR002"])
+        assert len(run.findings) == 1
+
+
+class TestRPR003WireSchema:
+    def test_drift_both_directions(self):
+        run = check("rpr003_violation", select=["RPR003"])
+        assert locations(run) == [
+            ("RPR003", "sweep/report.py", 6),
+            ("RPR003", "sweep/report.py", 14),
+        ]
+        assert "'runtime'" in run.findings[0].message
+        assert "written but never consumed" in run.findings[0].message
+        assert "'elapsed'" in run.findings[1].message
+        assert "no writer" in run.findings[1].message
+
+    def test_symmetric_pair_is_clean(self):
+        assert check("rpr003_clean").findings == []
+
+    def test_version_pin_mismatch_forces_reaudit(self):
+        run = check("rpr003_version", select=["RPR003"])
+        assert locations(run) == [("RPR003", "sweep/report.py", 1)]
+        assert "re-audit" in run.findings[0].message
+        assert "SCHEMA_VERSION" in run.findings[0].message
+
+
+class TestRPR004ResourceSafety:
+    def test_happy_path_close_is_not_ownership(self):
+        run = check("rpr004_violation", select=["RPR004"])
+        assert locations(run) == [("RPR004", "sweep/leaky.py", 12)]
+        assert "no provable owner" in run.findings[0].message
+        assert run.findings[0].severity is Severity.WARNING
+
+    def test_ownership_shapes_are_clean(self):
+        # with-block, return-transfer, self.attr + close method,
+        # try/finally, and cleanup-on-failure + transfer.
+        assert check("rpr004_clean").findings == []
+
+    def test_warnings_fail_only_under_strict(self):
+        run = check("rpr004_violation", select=["RPR004"])
+        assert not run.failed(strict=False)
+        assert run.failed(strict=True)
+
+
+class TestRPR005AtomicWrites:
+    def test_bare_truncating_write_pinned(self):
+        run = check("rpr005_violation", select=["RPR005"])
+        assert locations(run) == [("RPR005", "sweep/writer_bad.py", 7)]
+        assert "atomic_write_text" in run.findings[0].message
+
+    def test_staging_idiom_is_clean(self):
+        assert check("rpr005_clean").findings == []
+
+
+class TestSuppressions:
+    def test_matched_suppression_silences_finding(self):
+        run = check("suppressed")
+        assert run.findings == []
+
+    def test_stale_suppression_becomes_rpr900(self):
+        run = check("stale_suppression")
+        assert locations(run) == [("RPR900", "sweep/fine.py", 5)]
+        finding = run.findings[0]
+        assert finding.severity is Severity.WARNING
+        assert "matched no finding" in finding.message
+        assert not run.failed(strict=False)
+        assert run.failed(strict=True)
+
+    def test_docstring_mention_does_not_activate(self):
+        source = '"""Docs say use ``# repro: ignore[RPR001]``."""\n'
+        module = types.SimpleNamespace(relpath="m.py", source=source)
+        index = scan_suppressions([module])
+        assert index.by_location == {}
+
+    def test_multi_code_comment_lowercase(self):
+        source = "x = 1  # repro: ignore[rpr004, rpr005]\n"
+        module = types.SimpleNamespace(relpath="m.py", source=source)
+        index = scan_suppressions([module])
+        supp = index.by_location[("m.py", 1)]
+        assert supp.codes == ("RPR004", "RPR005")
+        assert index.matches("m.py", 1, "RPR005")
+        assert not index.matches("m.py", 1, "RPR001")
+        assert index.unused() == []
+
+    def test_suppression_is_line_scoped(self):
+        source = "x = 1  # repro: ignore[RPR004]\n"
+        module = types.SimpleNamespace(relpath="m.py", source=source)
+        index = scan_suppressions([module])
+        assert not index.matches("m.py", 2, "RPR004")
+
+
+class TestEngine:
+    def test_findings_sorted_and_stable(self):
+        first = check("rpr001_violation")
+        second = check("rpr001_violation")
+        keys = [f.sort_key for f in first.findings]
+        assert keys == sorted(keys)
+        assert first.to_record() == second.to_record()
+
+    def test_record_has_no_absolute_paths(self):
+        run = check("rpr001_violation")
+        record = run.to_record()
+        assert record["n_findings"] == len(record["findings"])
+        for entry in record["findings"]:
+            assert not os.path.isabs(entry["path"])
+
+    def test_render_text_summary(self):
+        run = check("rpr001_clean")
+        text = render_text(run)
+        assert "checked 1 files" in text
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_render_text_notes_nonstrict_warnings(self):
+        run = check("rpr004_violation", select=["RPR004"])
+        assert "do not fail without --strict" in render_text(run)
+        assert "do not fail" not in render_text(run, strict=True)
+
+    def test_finding_render_format(self):
+        run = check("rpr002_violation", select=["RPR002"])
+        line = run.findings[0].render()
+        assert line.startswith("core/precompute.py:8:")
+        assert "RPR002 error:" in line
+
+
+class TestAstHelpers:
+    def test_import_aliases_resolution(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                import numpy as np
+                from datetime import datetime
+                import time
+
+                def f():
+                    np.random.rand()
+                    datetime.now()
+                    time.monotonic()
+                """
+            )
+        )
+        aliases = import_aliases(tree)
+        resolved = {resolve_call(c, aliases) for c in walk_calls(tree)}
+        assert "numpy.random.rand" in resolved
+        assert "datetime.datetime.now" in resolved
+        assert "time.monotonic" in resolved
+
+    def test_written_and_read_keys(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def write(x):
+                    rec = {"a": 1}
+                    rec["b"] = 2
+                    return rec
+
+                def read(rec):
+                    return rec["a"], rec.get("b"), rec.pop("c")
+                """
+            )
+        )
+        write_fn, read_fn = tree.body
+        assert written_keys(write_fn) == {"a", "b"}
+        assert read_keys(read_fn) == {"a", "b", "c"}
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_zero_findings(self):
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        run = run_check(root)
+        rendered = [f.render() for f in run.findings]
+        assert rendered == []
+        assert not run.failed(strict=True)
+
+    def test_shipped_tree_has_zero_suppressions(self):
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        ctx = load_project(root)
+        index = scan_suppressions(ctx.walk())
+        assert index.by_location == {}

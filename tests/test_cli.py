@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import shutil
 
 import pytest
 
@@ -577,3 +579,116 @@ class TestBenchCli:
     def test_run_unknown_suite_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "run", "--suite", "warp"])
+
+
+class TestCheckCli:
+    """`repro check`: exit-code contract, rule selection, JSON stability."""
+
+    FIXTURES = os.path.join(
+        os.path.dirname(__file__), "fixtures", "analysis"
+    )
+
+    def fixture(self, name):
+        return os.path.join(self.FIXTURES, name)
+
+    def test_shipped_tree_is_clean_under_strict(self, capsys):
+        # The acceptance bar: zero findings, zero suppressions, exit 0.
+        assert main(["check", "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name, anchor", [
+        ("rpr001_violation", "core/seeding_bad.py:10"),
+        ("rpr002_violation", "core/precompute.py:8"),
+        ("rpr003_violation", "sweep/report.py:6"),
+        ("rpr004_violation", "sweep/leaky.py:12"),
+        ("rpr005_violation", "sweep/writer_bad.py:7"),
+    ])
+    def test_each_rule_fails_its_fixture(self, capsys, name, anchor):
+        code = name.split("_")[0].upper()
+        assert main(["check", self.fixture(name), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert anchor in out
+        assert code in out
+
+    def test_warning_rules_pass_without_strict(self, capsys):
+        # RPR004/RPR005 are warnings: reported, but exit 0 non-strict.
+        assert main(["check", self.fixture("rpr004_violation")]) == 0
+        out = capsys.readouterr().out
+        assert "RPR004" in out
+        assert "warnings do not fail without --strict" in out
+
+    def test_ignore_silences_rule(self, capsys):
+        rc = main([
+            "check", self.fixture("rpr004_violation"),
+            "--strict", "--ignore", "RPR004",
+        ])
+        assert rc == 0
+
+    def test_select_limits_rules(self, capsys):
+        rc = main([
+            "check", self.fixture("rpr004_violation"),
+            "--strict", "--select", "RPR001,RPR002",
+        ])
+        assert rc == 0
+
+    def test_unknown_rule_code_exits_2(self, capsys):
+        assert main(["check", "--select", "RPR999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_root_exits_2(self, capsys):
+        assert main(["check", self.fixture("no_such_tree")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_output_is_stable(self, capsys):
+        argv = [
+            "check", self.fixture("rpr001_violation"), "--format", "json",
+        ]
+        assert main(argv) == 1
+        first = capsys.readouterr().out
+        assert main(argv) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["n_findings"] == 3
+        assert doc["n_findings"] == len(doc["findings"])
+        assert [f["code"] for f in doc["findings"]] == ["RPR001"] * 3
+        for finding in doc["findings"]:
+            assert not os.path.isabs(finding["path"])
+
+    def test_list_rules_catalog(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert code in out
+
+    def test_suppressed_fixture_is_clean(self, capsys):
+        assert main(["check", self.fixture("suppressed"), "--strict"]) == 0
+
+    def test_stale_suppression_fails_strict_only(self, capsys):
+        path = self.fixture("stale_suppression")
+        assert main(["check", path]) == 0
+        capsys.readouterr()
+        assert main(["check", path, "--strict"]) == 1
+        assert "RPR900" in capsys.readouterr().out
+
+    def test_rpr002_guard_end_to_end(self, tmp_path, capsys):
+        """A new precompute-relevant config read must flip CI to red.
+
+        This pins the whole pipeline the PR 2 ``n_probes`` bug slipped
+        through: copy the clean guard fixture, introduce a synthetic
+        ``config.w`` read that neither declared tuple covers, and the
+        exact same ``repro check`` invocation goes exit 0 -> exit 1.
+        """
+        tree = tmp_path / "guard"
+        shutil.copytree(self.fixture("rpr002_guard"), tree)
+        assert main(["check", str(tree), "--strict"]) == 0
+        capsys.readouterr()
+
+        target = tree / "core" / "precompute.py"
+        with open(target, "a") as f:
+            f.write("\n\ndef stale(config):\n    return config.w\n")
+        assert main(["check", str(tree), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out
+        assert "config.w" in out
+        assert "core/precompute.py:17" in out

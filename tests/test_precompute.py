@@ -59,6 +59,42 @@ class TestPrecompute:
         assert small_pre.lambda_base == pytest.approx(exact, abs=0.1)
 
 
+class TestConfigFieldAudit:
+    """The RPR002 audit constants stay honest.
+
+    ``repro check`` validates these structurally on every run; pinning
+    them here too means a bad edit fails the unit suite even on a
+    machine that never runs the checker.
+    """
+
+    def test_declared_tuples_are_disjoint(self):
+        from repro.core.precompute import (
+            PRECOMPUTE_CONFIG_FIELDS,
+            REBIND_CONFIG_FIELDS,
+        )
+
+        assert not set(PRECOMPUTE_CONFIG_FIELDS) & set(REBIND_CONFIG_FIELDS)
+
+    def test_declared_names_are_real_config_fields(self):
+        import dataclasses
+
+        from repro.core.precompute import (
+            PRECOMPUTE_CONFIG_FIELDS,
+            REBIND_CONFIG_FIELDS,
+        )
+
+        fields = {f.name for f in dataclasses.fields(PlannerConfig)}
+        declared = set(PRECOMPUTE_CONFIG_FIELDS) | set(REBIND_CONFIG_FIELDS)
+        assert declared <= fields
+
+    def test_save_leaves_no_staging_litter(self, small_pre, tmp_path):
+        import os
+
+        small_pre.save(str(tmp_path / "pre"))
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["pre.json", "pre.npz"]
+
+
 class TestIncrementModes:
     def test_sketch_mode_correlates_with_exact(self, small_dataset, small_config):
         exact_pre = precompute(small_dataset, small_config)

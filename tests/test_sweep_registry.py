@@ -152,6 +152,38 @@ class TestFileRegistry:
         time.sleep(0.25)
         assert len(registry.live_workers()) == 1  # 0.5s old reg, 0.25s beat
 
+    def test_last_seen_is_an_epoch_stamp(self, tmp_path):
+        # Regression for the RPR001 fix: registration stamps come from
+        # the sanctioned wall_clock() wrapper, which must still be the
+        # epoch clock (a display field humans read as a date), not the
+        # boot-relative monotonic counter liveness runs on.
+        registry = FileRegistry(str(tmp_path / "reg.json"))
+        before = time.time()
+        registry.register(WorkerRecord(host="h", port=1))
+        after = time.time()
+        (live,) = registry.live_workers()
+        assert before <= live.last_seen <= after
+
+    def test_register_writes_atomically(self, tmp_path, monkeypatch):
+        # The staging idiom RPR005 enforces: a crash mid-registration
+        # must leave the previous registry document intact for
+        # concurrent discovery, with no staging litter.
+        import os as os_mod
+
+        path = tmp_path / "reg.json"
+        registry = FileRegistry(str(path))
+        registry.register(WorkerRecord(host="h", port=1))
+        good = path.read_text()
+
+        monkeypatch.setattr(
+            os_mod, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            registry.register(WorkerRecord(host="h", port=2))
+        assert path.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["reg.json"]
+
     def test_missing_file_reads_empty(self, tmp_path):
         assert FileRegistry(str(tmp_path / "nope.json")).live_workers() == []
 

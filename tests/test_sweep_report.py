@@ -111,3 +111,22 @@ class TestApi:
     def test_n_failed_property(self, outcomes):
         outs, _ = outcomes
         assert SweepReport.from_outcomes(outs).n_failed == 1
+
+    def test_write_is_atomic(self, outcomes, tmp_path, monkeypatch):
+        # Regression for the bare open(path, "w") write (RPR005): a
+        # crash mid-write must leave the previous report readable, not
+        # a truncated prefix, and no staging litter behind.
+        from repro.utils import fsio
+
+        outs, _ = outcomes
+        path = tmp_path / "report.json"
+        path.write_text('{"previous": "report"}\n')
+
+        monkeypatch.setattr(
+            fsio.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            SweepReport.from_outcomes(outs).write(str(path))
+        assert json.loads(path.read_text()) == {"previous": "report"}
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]

@@ -377,6 +377,47 @@ class TestReadStream:
         with pytest.raises(DataError, match="line 1"):
             read_stream(str(path))
 
+    def test_corrupt_stream_closes_the_handle(self, tmp_path, monkeypatch):
+        # Regression: the DataError path used to exit read_stream with
+        # the file object still open (the RPR004 finding) — a resuming
+        # parent that catches the error and retries would leak one fd
+        # per attempt.
+        import builtins
+
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        opened = []
+        real_open = builtins.open
+
+        def spy(*args, **kwargs):
+            f = real_open(*args, **kwargs)
+            opened.append(f)
+            return f
+
+        monkeypatch.setattr(builtins, "open", spy)
+        with pytest.raises(DataError):
+            read_stream(str(path))
+        assert opened
+        assert all(f.closed for f in opened)
+
+    def test_happy_path_closes_the_handle(self, tmp_path, monkeypatch):
+        import builtins
+
+        path = tmp_path / "ok.jsonl"
+        path.write_text(json.dumps({"record": "summary", "n_ok": 0}) + "\n")
+        opened = []
+        real_open = builtins.open
+
+        def spy(*args, **kwargs):
+            f = real_open(*args, **kwargs)
+            opened.append(f)
+            return f
+
+        monkeypatch.setattr(builtins, "open", spy)
+        read_stream(str(path))
+        assert opened
+        assert all(f.closed for f in opened)
+
     def test_schema_mismatch_raises(self, tmp_path):
         path = tmp_path / "future.jsonl"
         path.write_text(

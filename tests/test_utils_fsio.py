@@ -1,0 +1,84 @@
+"""Tests for atomic file writes (``repro.utils.fsio``).
+
+Regression coverage for the RPR005 fix: every durable artifact writer
+(sweep reports, bench snapshots, precompute metadata) now routes
+through :func:`atomic_write_text`, so its crash contract — old
+document or new document, never a prefix, never litter — is pinned
+here.
+"""
+
+import os
+
+import pytest
+
+from repro.utils import fsio
+from repro.utils.fsio import atomic_write_text
+
+
+def _entries(directory):
+    return sorted(os.listdir(directory))
+
+
+class TestAtomicWriteText:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, '{"ok": true}\n')
+        assert path.read_text() == '{"ok": true}\n'
+
+    def test_overwrite_replaces_whole_document(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "old contents, quite long\n")
+        atomic_write_text(path, "new\n")
+        assert path.read_text() == "new\n"
+
+    def test_success_leaves_no_staging_litter(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "x\n")
+        assert _entries(tmp_path) == ["artifact.json"]
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        # Crash injection at the rename: the reader-visible document
+        # must still be the old one, byte for byte.
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "original\n")
+
+        def boom(src, dst):
+            raise OSError("injected crash at rename")
+
+        monkeypatch.setattr(fsio.os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_text(path, "replacement\n")
+        assert path.read_text() == "original\n"
+
+    def test_failed_replace_unlinks_staging_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "original\n")
+        monkeypatch.setattr(
+            fsio.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement\n")
+        assert _entries(tmp_path) == ["artifact.json"]
+
+    def test_stages_in_destination_directory(self, tmp_path, monkeypatch):
+        # Same-directory staging is what makes the rename atomic (no
+        # cross-filesystem copy fallback).
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen["src"], seen["dst"] = src, dst
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(fsio.os, "replace", spy)
+        path = tmp_path / "sub" / "artifact.json"
+        os.makedirs(path.parent)
+        atomic_write_text(path, "x\n")
+        assert os.path.dirname(seen["src"]) == str(path.parent)
+        assert os.path.basename(seen["src"]).startswith(".artifact.json.tmp-")
+
+    def test_accepts_bare_filename_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        atomic_write_text("artifact.txt", "x\n")
+        assert (tmp_path / "artifact.txt").read_text() == "x\n"

@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro.utils.errors import ValidationError
-from repro.utils.timing import Timer, format_seconds
+from repro.utils.timing import Timer, format_seconds, wall_clock
 from repro.utils.validation import (
     require,
     require_in_range,
@@ -49,6 +49,27 @@ class TestTimer:
             time.sleep(0.01)
         assert t.elapsed >= 0.009
         assert t.elapsed != first
+
+
+class TestWallClock:
+    """``wall_clock`` is the sanctioned display-only wall-clock source.
+
+    RPR001 bans bare ``time.time()`` in core/spectral/sweep; callers
+    that genuinely want a provenance timestamp route through here, so
+    pin that it really is the epoch clock.
+    """
+
+    def test_tracks_epoch_time(self):
+        before = time.time()
+        stamp = wall_clock()
+        after = time.time()
+        assert before <= stamp <= after
+
+    def test_returns_float_seconds(self):
+        assert isinstance(wall_clock(), float)
+        # Sanity: a plausible epoch value (after 2020, not a monotonic
+        # counter that starts near zero at boot).
+        assert wall_clock() > 1_577_836_800.0
 
 
 class TestFormatSeconds:
