@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.config import PlannerConfig
 from repro.core.planner import CTBusPlanner, run_method
-from repro.core.precompute import precompute
+from repro.core.precompute import precompute, rebind
 from repro.data.datasets import canned_city
 from repro.spectral.hutchinson import hutchinson_trace, sample_probes
 from repro.spectral.lanczos import lanczos_expm_action_block
@@ -122,6 +122,26 @@ def _probe_plan_baseline(dataset_profile: str) -> dict:
     return {
         "plan_s": plan_t.elapsed,
         "iterations": float(result.iterations),
+    }
+
+
+def _probe_plan_eta_online(dataset_profile: str) -> dict:
+    """Online-ETA search on a shared precomputation (search only).
+
+    This is the probe that watches the batched extension-evaluation
+    kernel: every expansion round prices its neighbors through one
+    shared Lanczos recurrence. The iteration budget is cut down from the
+    end-to-end probe's because online ETA re-estimates connectivity per
+    extension — the pinned numbers stay seconds-scale on the tiny suite.
+    """
+    pre = _shared_precomputation(dataset_profile)
+    small = rebind(pre, pre.config.variant(max_iterations=60, seed_count=40))
+    with Timer() as plan_t:
+        result = run_method(small, "eta")
+    return {
+        "plan_s": plan_t.elapsed,
+        "iterations": float(result.iterations),
+        "evaluations": float(result.connectivity_evaluations),
     }
 
 
@@ -241,6 +261,7 @@ def _shared_precomputation(dataset_profile: str):
 SUITES = {
     "plan": (
         ("plan.end_to_end", _probe_plan_end_to_end),
+        ("plan.eta_online", _probe_plan_eta_online),
         ("plan.vk_tsp", _probe_plan_baseline),
     ),
     "sweep": (

@@ -192,12 +192,16 @@ class ExpansionEngine:
 
         Returns ``(side, edge_index, new_stop, turn_increment, score)``
         tuples; this evaluation (one connectivity estimate per neighbor
-        for ETA) is exactly the paper's Bottleneck 1.
+        for ETA) is exactly the paper's Bottleneck 1. Feasibility is
+        checked first, then the surviving extensions of *both* sides are
+        scored in one ``extension_scores`` batch (``batch_eval=True``) or
+        through the sequential reference loop (``batch_eval=False``, the
+        differential oracle's ground truth).
         """
         cfg = self.config
-        out: list[tuple[str, int, int, int, float]] = []
+        feasible: list[tuple[str, int, int, int]] = []
         if cand.n_edges >= cfg.k:
-            return out
+            return []
         for side in (AT_END, AT_BEGIN):
             terminal = cand.end_stop if side == AT_END else cand.begin_stop
             for edge_index in self.universe.incident(terminal):
@@ -215,9 +219,21 @@ class ExpansionEngine:
                 tinc, sharp = turn_delta(self.universe, cand, new_stop, side)
                 if sharp or cand.turns + tinc > cfg.max_turns:
                     continue
-                score = self.strategy.extension_score(cand, edge_index)
-                out.append((side, edge_index, new_stop, tinc, score))
-        return out
+                feasible.append((side, edge_index, new_stop, tinc))
+        if not feasible:
+            return []
+        if cfg.batch_eval:
+            scores = self.strategy.extension_scores(
+                cand, [f[1] for f in feasible]
+            )
+        else:
+            scores = [
+                self.strategy.extension_score(cand, f[1]) for f in feasible
+            ]
+        return [
+            (side, edge_index, new_stop, tinc, float(score))
+            for (side, edge_index, new_stop, tinc), score in zip(feasible, scores)
+        ]
 
     def _compose_best(
         self,

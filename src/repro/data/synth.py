@@ -19,11 +19,11 @@ a seed:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.network.geometry import GridIndex, euclidean
+from repro.network.geometry import euclidean, nearest_vertices
 from repro.network.road import RoadNetwork
 from repro.network.shortest_path import dijkstra, reconstruct_vertex_path
 from repro.network.transit import TransitNetwork
@@ -86,6 +86,10 @@ class Hotspots:
     centers: np.ndarray  # (h, 2)
     weights: np.ndarray  # (h,)
     n_transit: int = 0
+    _trip_dists: dict = field(default_factory=dict, repr=False, compare=False)
+    """Normalized skewed distributions keyed by concentration — computing
+    ``w**c / sum`` once per exponent instead of once per sampled trip
+    (the probabilities are identical, so the rng draws are unchanged)."""
 
     def __post_init__(self) -> None:
         if self.n_transit <= 0 or self.n_transit > len(self.weights):
@@ -99,8 +103,13 @@ class Hotspots:
 
     def sample_trip_center(self, rng: np.random.Generator, concentration: float) -> int:
         """Sample with weights raised to ``concentration`` (taxi skew)."""
-        w = self.weights ** max(concentration, 0.0)
-        return int(rng.choice(len(w), p=w / w.sum()))
+        key = float(concentration)
+        p = self._trip_dists.get(key)
+        if p is None:
+            w = self.weights ** max(key, 0.0)
+            p = w / w.sum()
+            self._trip_dists[key] = p
+        return int(rng.choice(len(p), p=p))
 
 
 def generate_road_network(cfg: SynthConfig) -> RoadNetwork:
@@ -184,19 +193,6 @@ def generate_hotspots(cfg: SynthConfig, road: RoadNetwork) -> Hotspots:
     return Hotspots(centers=centers, weights=weights, n_transit=cfg.n_hotspots)
 
 
-def _snap(index: GridIndex, coords: np.ndarray, point, rng: np.random.Generator) -> int:
-    """Nearest road vertex to ``point`` (falling back to global argmin)."""
-    radius = 0.6
-    for _ in range(4):
-        hits = index.within(point, radius)
-        if hits:
-            dists = [euclidean(coords[v], point) for v in hits]
-            return hits[int(np.argmin(dists))]
-        radius *= 2.0
-    diff = coords - np.asarray(point, dtype=float)
-    return int(np.argmin(np.hypot(diff[:, 0], diff[:, 1])))
-
-
 def generate_transit_network(
     cfg: SynthConfig, road: RoadNetwork, hotspots: Hotspots | None = None
 ) -> TransitNetwork:
@@ -209,7 +205,6 @@ def generate_transit_network(
         hotspots = generate_hotspots(cfg, road)
     rng = child_rng(cfg.seed, f"{cfg.name}/transit")
     coords = road.coords
-    index = GridIndex(coords, cell=max(cfg.spacing_km, 1e-6))
     transit = TransitNetwork()
     stop_of_vertex: dict[int, int] = {}
 
@@ -225,8 +220,7 @@ def generate_transit_network(
         hb = hotspots.sample_center(rng, transit_only=True)
         pa = hotspots.centers[ha] + rng.normal(0.0, cfg.hotspot_sigma_km, 2)
         pb = hotspots.centers[hb] + rng.normal(0.0, cfg.hotspot_sigma_km, 2)
-        va = _snap(index, coords, pa, rng)
-        vb = _snap(index, coords, pb, rng)
+        va, vb = (int(v) for v in nearest_vertices(coords, np.vstack([pa, pb])))
         if va == vb or euclidean(coords[va], coords[vb]) < cfg.route_min_km:
             continue
         # Perturb edge weights per route so parallel routes diverge.
@@ -300,18 +294,26 @@ def generate_trips(
         hotspots = generate_hotspots(cfg, road)
     rng = child_rng(cfg.seed, f"{cfg.name}/trips")
     coords = road.coords
-    index = GridIndex(coords, cell=max(cfg.spacing_km, 1e-6))
 
-    od_pairs: list[tuple[int, int]] = []
-    for _ in range(cfg.n_trips):
+    # Sample all endpoints first (the rng call order per trip is part of
+    # the dataset contract), then snap them to road vertices in one
+    # vectorized pass — snapping consumes no randomness.
+    points = np.empty((2 * cfg.n_trips, 2))
+    for i in range(cfg.n_trips):
         ha = hotspots.sample_trip_center(rng, cfg.trip_concentration)
         hb = hotspots.sample_trip_center(rng, cfg.trip_concentration)
-        pa = hotspots.centers[ha] + rng.normal(0.0, cfg.hotspot_sigma_km, 2)
-        pb = hotspots.centers[hb] + rng.normal(0.0, cfg.hotspot_sigma_km, 2)
-        va = _snap(index, coords, pa, rng)
-        vb = _snap(index, coords, pb, rng)
-        if va != vb:
-            od_pairs.append((va, vb))
+        points[2 * i] = hotspots.centers[ha] + rng.normal(
+            0.0, cfg.hotspot_sigma_km, 2
+        )
+        points[2 * i + 1] = hotspots.centers[hb] + rng.normal(
+            0.0, cfg.hotspot_sigma_km, 2
+        )
+    snapped = nearest_vertices(coords, points)
+    od_pairs = [
+        (int(va), int(vb))
+        for va, vb in zip(snapped[0::2], snapped[1::2])
+        if va != vb
+    ]
 
     # Group by origin: one Dijkstra per distinct pickup vertex.
     by_origin: dict[int, list[int]] = {}

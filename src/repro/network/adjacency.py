@@ -110,6 +110,33 @@ class AdjacencyBuilder:
         data = np.ones(len(all_rows), dtype=float)
         return sp.coo_matrix((data, (all_rows, all_cols)), shape=(self.n, self.n)).tocsr()
 
+    def novel_pairs(
+        self, pairs: Iterable[tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        """The subset of ``pairs`` that :meth:`extended` would actually add.
+
+        Same filtering as :meth:`extended` — out-of-range endpoints raise,
+        self-loops / base members / in-batch duplicates are dropped — but
+        returns the surviving pairs instead of building a matrix. This is
+        the bridge to the batched kernel
+        (:func:`repro.spectral.batch.batched_expm_traces`), which applies
+        perturbations as rank-updates and therefore must never be handed
+        an edge the base matrix already contains.
+        """
+        novel: list[tuple[int, int]] = []
+        added: set[tuple[int, int]] = set()
+        for u, v in pairs:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise GraphError(f"edge ({u}, {v}) out of range for {self.n} vertices")
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in self._edge_set or key in added:
+                continue
+            added.add(key)
+            novel.append((u, v))
+        return novel
+
     def commit(self, extra_edges: Iterable[tuple[int, int]]) -> None:
         """Permanently add ``extra_edges`` to the base graph.
 

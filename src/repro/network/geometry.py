@@ -29,6 +29,28 @@ def euclidean_many(points: np.ndarray, point) -> np.ndarray:
     return np.hypot(diff[:, 0], diff[:, 1])
 
 
+def nearest_vertices(
+    points: np.ndarray, queries: np.ndarray, chunk: int = 1024
+) -> np.ndarray:
+    """Index of the nearest row of ``points`` for every row of ``queries``.
+
+    Euclidean metric; exact ties resolve to the lowest index. Queries are
+    processed in chunks so the dense ``(chunk, n)`` distance block stays
+    small on large inputs. This is the vectorized replacement for
+    per-point radius-query snapping in the synthetic-city generator.
+    """
+    pts = np.asarray(points, dtype=float)
+    qs = np.asarray(queries, dtype=float)
+    out = np.empty(len(qs), dtype=np.intp)
+    for start in range(0, len(qs), chunk):
+        q = qs[start : start + chunk]
+        d = np.hypot(
+            pts[None, :, 0] - q[:, 0, None], pts[None, :, 1] - q[:, 1, None]
+        )
+        out[start : start + chunk] = np.argmin(d, axis=1)
+    return out
+
+
 def haversine_km(a, b) -> float:
     """Great-circle distance in km between ``(lon, lat)`` degree pairs."""
     lon1, lat1, lon2, lat2 = map(math.radians, (a[0], a[1], b[0], b[1]))

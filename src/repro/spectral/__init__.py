@@ -20,6 +20,7 @@ from repro.spectral.alt_measures import (
     estrada_index,
     laplacian,
 )
+from repro.spectral.batch import batched_expm_actions, batched_expm_traces
 from repro.spectral.bounds import (
     estrada_upper_bound,
     general_upper_bound,
@@ -34,6 +35,7 @@ from repro.spectral.connectivity import (
 from repro.spectral.eigs import top_k_eigenvalues
 from repro.spectral.hutchinson import hutchinson_trace, sample_probes
 from repro.spectral.lanczos import (
+    block_expm_lanczos,
     lanczos_expm_action,
     lanczos_expm_action_block,
     lanczos_expm_quadrature,
@@ -45,6 +47,9 @@ from repro.spectral.sketch import ExpmSketch
 
 __all__ = [
     "algebraic_connectivity",
+    "batched_expm_actions",
+    "batched_expm_traces",
+    "block_expm_lanczos",
     "edge_connectivity",
     "estrada_index",
     "laplacian",

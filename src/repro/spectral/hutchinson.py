@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spectral.lanczos import lanczos_expm_action_block
+from repro.utils.errors import ValidationError
 from repro.utils.prng import ensure_rng
 from repro.utils.validation import require_positive
 
@@ -37,7 +38,7 @@ def hutchinson_trace(
     """
     probes = np.asarray(probes, dtype=float)
     if probes.ndim != 2 or probes.shape[0] != A.shape[0]:
-        raise ValueError(
+        raise ValidationError(
             f"probes shape {probes.shape} incompatible with matrix {A.shape}"
         )
     out = lanczos_expm_action_block(A, probes, steps=lanczos_steps)

@@ -123,6 +123,27 @@ def lanczos_expm_action_block(
     V = np.asarray(V, dtype=float)
     if V.ndim != 2:
         raise ValidationError(f"V must be 2-D, got shape {V.shape}")
+    if scale == 1.0:
+        matmat = lambda X: A @ X  # noqa: E731 - trivial adapters
+    else:
+        matmat = lambda X: scale * (A @ X)  # noqa: E731
+    return block_expm_lanczos(matmat, V, steps)
+
+
+def block_expm_lanczos(matmat, V: np.ndarray, steps: int) -> np.ndarray:
+    """``e^M V`` where ``M`` is given only through ``matmat(X) -> M @ X``.
+
+    The shared block-recurrence driver behind
+    :func:`lanczos_expm_action_block` and the batched candidate kernel
+    (:mod:`repro.spectral.batch`): every column of ``V`` runs its own
+    independent Lanczos recurrence, but each step costs one ``matmat``
+    call over the whole block. ``matmat`` must act column-wise (column
+    ``c`` of the result may depend only on column ``c`` of the input)
+    and represent a symmetric operator.
+    """
+    V = np.asarray(V, dtype=float)
+    if V.ndim != 2:
+        raise ValidationError(f"V must be 2-D, got shape {V.shape}")
     n, s = V.shape
     steps = min(int(steps), n)
     if steps < 1:
@@ -143,9 +164,7 @@ def lanczos_expm_action_block(
     q_prev = np.zeros_like(q)
     beta_prev = np.zeros(s)
     for j in range(steps):
-        w = A @ q
-        if scale != 1.0:
-            w = scale * w
+        w = matmat(q)
         alphas[j] = np.einsum("ns,ns->s", q, w)
         if j == steps - 1:
             break

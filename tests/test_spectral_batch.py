@@ -1,0 +1,344 @@
+"""Unit and property tests for the batched candidate-evaluation kernel.
+
+Covers the ``spectral/batch.py`` primitive itself, the estimator's
+batch API (including ``evaluations`` accounting), the strategy-level
+``extension_scores``, the previously untested corners of
+``lanczos_expm_action_block``, and the ``hutchinson_trace`` error-type
+fix. The end-to-end planning contract lives in ``test_batch_oracle.py``.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.config import PlannerConfig
+from repro.core.objective import OnlineStrategy, PrecomputedStrategy
+from repro.core.precompute import precompute
+from repro.data.datasets import canned_city
+from repro.network.adjacency import AdjacencyBuilder
+from repro.spectral.batch import batched_expm_actions, batched_expm_traces
+from repro.spectral.connectivity import NaturalConnectivityEstimator
+from repro.spectral.hutchinson import hutchinson_trace, sample_probes
+from repro.spectral.lanczos import lanczos_expm_action, lanczos_expm_action_block
+from repro.utils.errors import GraphError, ValidationError
+
+
+def random_adjacency(n: int, p: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    dense = (upper | upper.T).astype(float)
+    return sp.csr_matrix(dense)
+
+
+def novel_groups(A: sp.csr_matrix, sizes, seed: int):
+    """Random edge groups guaranteed absent from ``A`` (no self-loops)."""
+    rng = np.random.default_rng(seed)
+    existing = {tuple(sorted(map(int, p))) for p in zip(*A.nonzero())}
+    n = A.shape[0]
+    groups = []
+    for size in sizes:
+        group = []
+        while len(group) < size:
+            u, v = (int(x) for x in rng.integers(0, n, 2))
+            if u != v and tuple(sorted((u, v))) not in existing:
+                group.append((u, v))
+        groups.append(group)
+    return groups
+
+
+class CountingMatrix:
+    """Sparse-matrix wrapper counting ``@`` products."""
+
+    def __init__(self, A):
+        self.A = A
+        self.shape = A.shape
+        self.matmuls = 0
+
+    def __matmul__(self, other):
+        self.matmuls += 1
+        return self.A @ other
+
+
+def extended(A: sp.csr_matrix, pairs) -> sp.csr_matrix:
+    out = A.tolil(copy=True)
+    for u, v in pairs:
+        out[u, v] = 1.0
+        out[v, u] = 1.0
+    return out.tocsr()
+
+
+class TestBatchedTraces:
+    def test_matches_sequential_hutchinson(self):
+        A = random_adjacency(50, 0.08, 0)
+        probes = sample_probes(50, 10, seed=1)
+        groups = novel_groups(A, [2, 0, 1, 3, 5], seed=2)
+        batched = batched_expm_traces(A, probes, groups, steps=8)
+        sequential = np.array([
+            hutchinson_trace(extended(A, g), probes, lanczos_steps=8)
+            for g in groups
+        ])
+        np.testing.assert_allclose(batched, sequential, atol=1e-9, rtol=1e-12)
+
+    def test_empty_group_is_bitwise_base_estimate(self):
+        A = random_adjacency(30, 0.1, 3)
+        probes = sample_probes(30, 8, seed=4)
+        traces = batched_expm_traces(A, probes, [[]], steps=6)
+        assert traces[0] == hutchinson_trace(A, probes, lanczos_steps=6)
+
+    def test_empty_batch_returns_empty_without_matmuls(self):
+        A = CountingMatrix(random_adjacency(20, 0.1, 5))
+        probes = sample_probes(20, 4, seed=6)
+        traces = batched_expm_traces(A, probes, [], steps=5)
+        assert traces.shape == (0,)
+        assert A.matmuls == 0
+
+    def test_permutation_invariance_bitwise(self):
+        A = random_adjacency(40, 0.1, 7)
+        probes = sample_probes(40, 6, seed=8)
+        groups = novel_groups(A, [1, 2, 3, 0, 2, 4], seed=9)
+        base = batched_expm_traces(A, probes, groups, steps=6)
+        perm = np.random.default_rng(10).permutation(len(groups))
+        shuffled = batched_expm_traces(
+            A, probes, [groups[i] for i in perm], steps=6
+        )
+        assert np.array_equal(shuffled, base[perm])
+
+    def test_chunking_is_bitwise_invariant(self):
+        A = random_adjacency(40, 0.1, 11)
+        probes = sample_probes(40, 6, seed=12)
+        groups = novel_groups(A, [1, 2, 1, 3, 2], seed=13)
+        full = batched_expm_traces(A, probes, groups, steps=6)
+        chunked = batched_expm_traces(
+            A, probes, groups, steps=6, max_columns=6
+        )
+        assert np.array_equal(full, chunked)
+
+    def test_duplicate_and_self_loop_pairs_are_collapsed(self):
+        A = random_adjacency(30, 0.1, 14)
+        probes = sample_probes(30, 6, seed=15)
+        [[(u, v)]] = novel_groups(A, [1], seed=16)
+        messy = [[(u, v), (v, u), (u, u)]]
+        clean = [[(u, v)]]
+        assert np.array_equal(
+            batched_expm_traces(A, probes, messy, steps=6),
+            batched_expm_traces(A, probes, clean, steps=6),
+        )
+
+    def test_validation(self):
+        A = random_adjacency(20, 0.1, 17)
+        probes = sample_probes(20, 4, seed=18)
+        with pytest.raises(ValidationError):
+            batched_expm_traces(A, probes[:10], [[]], steps=5)
+        with pytest.raises(ValidationError):
+            batched_expm_traces(A, probes, [[]], steps=5, max_columns=0)
+        with pytest.raises(GraphError):
+            batched_expm_traces(A, probes, [[(0, 99)]], steps=5)
+
+    def test_actions_shape(self):
+        A = random_adjacency(20, 0.1, 19)
+        probes = sample_probes(20, 3, seed=20)
+        out = batched_expm_actions(A, probes, [[], []], steps=5)
+        assert out.shape == (20, 6)
+        np.testing.assert_array_equal(out[:, :3], out[:, 3:])
+
+
+class TestEstimatorBatchAPI:
+    def test_batch_counts_m_evaluations(self):
+        A = random_adjacency(25, 0.12, 21)
+        est = NaturalConnectivityEstimator(25, n_probes=6, lanczos_steps=5, seed=0)
+        groups = novel_groups(A, [1, 2, 0, 1], seed=22)
+        before = est.evaluations
+        est.trace_exp_batch(A, groups)
+        assert est.evaluations == before + len(groups)
+
+    def test_empty_batch_counts_nothing(self):
+        A = random_adjacency(25, 0.12, 23)
+        est = NaturalConnectivityEstimator(25, n_probes=6, lanczos_steps=5, seed=0)
+        out = est.trace_exp_batch(A, [])
+        assert out.shape == (0,)
+        assert est.estimate_batch(A, []).shape == (0,)
+        assert est.evaluations == 0
+
+    def test_batch_equals_sequential_accounting_and_values(self):
+        A = random_adjacency(25, 0.12, 24)
+        groups = novel_groups(A, [1, 3, 2], seed=25)
+        batch_est = NaturalConnectivityEstimator(25, n_probes=6, lanczos_steps=5, seed=0)
+        seq_est = NaturalConnectivityEstimator(25, n_probes=6, lanczos_steps=5, seed=0)
+        batched = batch_est.estimate_batch(A, groups)
+        sequential = np.array([
+            seq_est.estimate(extended(A, g)) for g in groups
+        ])
+        assert batch_est.evaluations == seq_est.evaluations
+        np.testing.assert_allclose(batched, sequential, atol=1e-9, rtol=0.0)
+
+    def test_shape_mismatch_raises(self):
+        est = NaturalConnectivityEstimator(25, n_probes=6, lanczos_steps=5, seed=0)
+        with pytest.raises(ValidationError):
+            est.trace_exp_batch(random_adjacency(10, 0.2, 26), [[]])
+
+
+class TestNovelPairs:
+    def test_filters_base_members_self_loops_duplicates(self):
+        builder = AdjacencyBuilder(6, [(0, 1), (1, 2)])
+        pairs = [(1, 0), (2, 3), (3, 2), (4, 4), (3, 4), (2, 3)]
+        assert builder.novel_pairs(pairs) == [(2, 3), (3, 4)]
+
+    def test_out_of_range_raises(self):
+        builder = AdjacencyBuilder(4, [(0, 1)])
+        with pytest.raises(GraphError):
+            builder.novel_pairs([(0, 9)])
+
+    def test_agrees_with_extended(self):
+        builder = AdjacencyBuilder(8, [(0, 1), (2, 3), (4, 5)])
+        pairs = [(0, 1), (1, 2), (5, 5), (6, 7), (7, 6), (1, 2)]
+        novel = builder.novel_pairs(pairs)
+        via_novel = builder.extended(novel)
+        via_raw = builder.extended(pairs)
+        assert (via_novel != via_raw).nnz == 0
+
+
+class _StrategyFixture:
+    config_kwargs = dict(
+        k=8, w=0.5, max_iterations=60, seed_count=40,
+        n_probes=8, lanczos_steps=6, seed=0,
+    )
+
+    @pytest.fixture(scope="class")
+    def pre(self):
+        config = PlannerConfig(**self.config_kwargs)
+        return precompute(canned_city("chicago", "tiny"), config)
+
+
+class TestOnlineExtensionScores(_StrategyFixture):
+    def _candidate(self, pre, strategy):
+        from repro.core.candidate import seed_candidate
+
+        edge_index = pre.L_e.edge_at(1)
+        cand = seed_candidate(pre.universe, edge_index)
+        return cand.with_scores(strategy.seed_score(edge_index), 0.0, 0, 0.0)
+
+    def test_batch_matches_sequential_loop(self, pre):
+        strategy = OnlineStrategy(pre)
+        cand = self._candidate(pre, strategy)
+        terminal = cand.end_stop
+        neighbors = list(pre.universe.incident(terminal))[:6]
+        assert neighbors, "fixture produced an isolated terminal"
+        batched = strategy.extension_scores(cand, neighbors)
+        sequential = np.array(
+            [strategy.extension_score(cand, e) for e in neighbors]
+        )
+        np.testing.assert_allclose(batched, sequential, atol=1e-9, rtol=0.0)
+
+    def test_singleton_batch_matches_scalar(self, pre):
+        strategy = OnlineStrategy(pre)
+        cand = self._candidate(pre, strategy)
+        [edge] = list(pre.universe.incident(cand.end_stop))[:1]
+        score = strategy.extension_scores(cand, [edge])
+        assert score.shape == (1,)
+        assert score[0] == pytest.approx(
+            strategy.extension_score(cand, edge), abs=1e-9
+        )
+
+    def test_empty_batch_skips_estimator(self, pre):
+        strategy = OnlineStrategy(pre)
+        cand = self._candidate(pre, strategy)
+        before = pre.estimator.evaluations
+        out = strategy.extension_scores(cand, [])
+        assert out.shape == (0,)
+        assert pre.estimator.evaluations == before
+
+    def test_batch_charges_one_evaluation_per_scored_extension(self, pre):
+        strategy = OnlineStrategy(pre)
+        cand = self._candidate(pre, strategy)
+        neighbors = list(pre.universe.incident(cand.end_stop))[:4]
+        before = pre.estimator.evaluations
+        strategy.extension_scores(cand, neighbors)
+        charged = pre.estimator.evaluations - before
+        expected = sum(
+            1
+            for e in neighbors
+            if pre.universe.new_pairs(list(cand.edge_ids) + [e])
+        )
+        assert charged == expected
+
+
+class TestPrecomputedExtensionScores(_StrategyFixture):
+    def test_bitwise_equal_to_scalar_path(self, pre):
+        strategy = PrecomputedStrategy(pre)
+        from repro.core.candidate import seed_candidate
+
+        edge_index = pre.L_e.edge_at(1)
+        cand = seed_candidate(pre.universe, edge_index)
+        cand = cand.with_scores(strategy.seed_score(edge_index), 0.0, 0, 0.0)
+        indices = [pre.L_e.edge_at(r) for r in range(1, 6)]
+        batched = strategy.extension_scores(cand, indices)
+        scalar = np.array(
+            [strategy.extension_score(cand, e) for e in indices]
+        )
+        assert np.array_equal(batched, scalar)
+        assert strategy.extension_scores(cand, []).shape == (0,)
+
+
+class TestLanczosBlockCorners:
+    """Direct coverage for corners previously hit only via the estimator."""
+
+    def test_scale_matches_prescaled_matrix(self):
+        A = random_adjacency(30, 0.12, 30)
+        V = np.random.default_rng(31).standard_normal((30, 5))
+        scaled = lanczos_expm_action_block(A, V, steps=8, scale=0.5)
+        reference = np.column_stack([
+            lanczos_expm_action(sp.csr_matrix(0.5 * A.toarray()), V[:, j], steps=8)
+            for j in range(V.shape[1])
+        ])
+        np.testing.assert_allclose(scaled, reference, atol=1e-8, rtol=1e-8)
+
+    def test_zero_norm_columns_stay_zero_and_isolated(self):
+        A = random_adjacency(25, 0.15, 32)
+        V = np.random.default_rng(33).standard_normal((25, 4))
+        V[:, 2] = 0.0
+        out = lanczos_expm_action_block(A, V, steps=6)
+        assert np.all(out[:, 2] == 0.0)
+        keep = [0, 1, 3]
+        without = lanczos_expm_action_block(A, V[:, keep], steps=6)
+        assert np.array_equal(out[:, keep], without)
+
+    def test_early_breakdown_freezes_column(self):
+        # Column 0 is an exact eigenvector: its recurrence breaks down
+        # after one step and must freeze at e^{lambda} v while the other
+        # columns keep iterating.
+        A = random_adjacency(20, 0.2, 34)
+        evals, evecs = np.linalg.eigh(A.toarray())
+        V = np.random.default_rng(35).standard_normal((20, 3))
+        V[:, 0] = evecs[:, -1]
+        out = lanczos_expm_action_block(A, V, steps=8)
+        np.testing.assert_allclose(
+            out[:, 0], np.exp(evals[-1]) * evecs[:, -1], atol=1e-8
+        )
+
+    def test_pinned_column_by_column_against_single_vector(self):
+        A = random_adjacency(35, 0.1, 36)
+        V = np.random.default_rng(37).standard_normal((35, 6))
+        block = lanczos_expm_action_block(A, V, steps=9)
+        for j in range(V.shape[1]):
+            single = lanczos_expm_action(A, V[:, j], steps=9)
+            np.testing.assert_allclose(block[:, j], single, atol=1e-9)
+
+    def test_rejects_one_dimensional_input(self):
+        A = random_adjacency(10, 0.3, 38)
+        with pytest.raises(ValidationError):
+            lanczos_expm_action_block(A, np.ones(10), steps=4)
+
+
+class TestHutchinsonErrorType:
+    def test_shape_mismatch_raises_validation_error(self):
+        A = random_adjacency(12, 0.2, 39)
+        probes = sample_probes(8, 3, seed=40)
+        with pytest.raises(ValidationError):
+            hutchinson_trace(A, probes)
+
+    def test_validation_error_is_still_a_value_error(self):
+        # Callers that caught the old bare ValueError keep working.
+        A = random_adjacency(12, 0.2, 41)
+        probes = sample_probes(8, 3, seed=42)
+        with pytest.raises(ValueError):
+            hutchinson_trace(A, probes)
