@@ -247,7 +247,7 @@ def module_functions(tree: ast.Module) -> "dict[str, ast.AST]":
     return out
 
 
-def module_constant(tree: ast.Module, name: str):
+def module_constant(tree: ast.Module, name: str) -> object:
     """The literal value of a module-level ``NAME = <const>`` assign.
 
     Returns ``None`` when the name is absent or not a literal. Handles

@@ -53,7 +53,7 @@ class Rule:
         )
 
 
-def register_rule(cls):
+def register_rule(cls: type) -> type:
     """Class decorator: validate and add a :class:`Rule` to the registry."""
     if not issubclass(cls, Rule):
         raise ValidationError(f"{cls!r} is not a Rule subclass")

@@ -1,0 +1,102 @@
+"""Baseline files: adopt ``repro check`` on a tree with known debt.
+
+``repro check --write-baseline FILE`` snapshots the current findings;
+``repro check --baseline FILE`` then fails only on findings *not* in
+the snapshot. That turns the checker into a ratchet — existing debt is
+tolerated (and listed as "baselined"), while every new violation
+fails immediately, so the count can only go down.
+
+Findings are keyed by ``(code, path, message)`` — deliberately *not*
+by line, so re-ordering imports or adding a docstring above a
+baselined violation does not churn the file. The key is counted, not
+set-membership: two identical violations in one file baseline two,
+and a third is new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.utils.errors import DataError
+from repro.utils.fsio import atomic_write_text
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.code, finding.path, finding.message)
+
+
+def write_baseline(findings: "List[Finding]", path: str) -> int:
+    """Snapshot ``findings`` to ``path``; returns the entry count."""
+    counts: "Counter[BaselineKey]" = Counter(
+        baseline_key(f) for f in findings
+    )
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"code": code, "path": rel, "message": message,
+             "count": counts[(code, rel, message)]}
+            for code, rel, message in sorted(counts)
+        ],
+    }
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+    return sum(counts.values())
+
+
+def load_baseline(path: str) -> "Counter[BaselineKey]":
+    """Load a baseline file into a key → count multiset."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise DataError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DataError(
+            f"baseline {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise DataError(
+            f"baseline {path!r}: expected a version-"
+            f"{BASELINE_VERSION} document written by "
+            "'repro check --write-baseline'"
+        )
+    counts: "Counter[BaselineKey]" = Counter()
+    for entry in doc.get("findings", []):
+        try:
+            key = (entry["code"], entry["path"], entry["message"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise DataError(
+                f"baseline {path!r}: malformed entry {entry!r}"
+            ) from exc
+        counts[key] += count
+    return counts
+
+
+def partition_findings(
+    findings: "List[Finding]",
+    baseline: "Counter[BaselineKey]",
+) -> "Tuple[List[Finding], List[Finding]]":
+    """Split into ``(new, baselined)`` against the snapshot.
+
+    Counted matching: each baseline entry absorbs that many identical
+    findings; the surplus is new. Findings arrive engine-sorted, so
+    which duplicate is "absorbed" is deterministic.
+    """
+    remaining = Counter(baseline)
+    new: "List[Finding]" = []
+    old: "List[Finding]" = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,273 @@
+"""Per-function control-flow graphs over the :mod:`ast` model.
+
+A :class:`CFG` is a list of :class:`BasicBlock` objects connected by
+successor/predecessor edges, built from one ``def`` by
+:func:`build_cfg`. Blocks carry *elements* — the simple statements and
+branch-condition expressions that execute when control passes through
+the block — which is exactly the granularity the dataflow engine
+(:mod:`repro.analysis.dataflow`) transfers over.
+
+The builder models ``if``/``while``/``for`` (with ``else`` clauses,
+``break``/``continue``), ``with``, and ``try``/``except``/``finally``.
+Exception edges are the standard cheap approximation: any block inside
+a ``try`` body may jump to any of its handlers. ``return``/``raise``
+edge to the synthetic exit block. Nested ``def``/``class`` bodies are
+separate scopes and never enter the enclosing graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of elements with single entry and exit."""
+
+    index: int
+    elements: "list[ast.AST]" = field(default_factory=list)
+    succs: "list[int]" = field(default_factory=list)
+    preds: "list[int]" = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function.
+
+    ``entry`` has no elements and no predecessors; ``exit`` has no
+    elements and no successors. Unreachable blocks (code after an
+    unconditional ``return``) stay in ``blocks`` but are absent from
+    :meth:`reverse_postorder`, so fixpoint solvers never visit them.
+    """
+
+    func: FunctionNode
+    blocks: "list[BasicBlock]"
+    entry: int
+    exit: int
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def reverse_postorder(self) -> "list[int]":
+        """Block indices in reverse postorder from the entry block.
+
+        For a forward dataflow problem this ordering visits each
+        block's predecessors first wherever the graph is acyclic, which
+        minimises worklist iterations.
+        """
+        seen: "set[int]" = set()
+        post: "list[int]" = []
+
+        def visit(start: int) -> None:
+            stack: "list[tuple[int, Iterator[int]]]" = [
+                (start, iter(self.blocks[start].succs))
+            ]
+            seen.add(start)
+            while stack:
+                index, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(
+                            (succ, iter(self.blocks[succ].succs))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(index)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(post))
+
+
+class _Loop:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    __slots__ = ("head", "after")
+
+    def __init__(self, head: int, after: int) -> None:
+        self.head = head
+        self.after = after
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: "list[BasicBlock]" = []
+        self.loops: "list[_Loop]" = []
+        self.exit_edges: "list[int]" = []
+
+    def new_block(self) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def add(self, block: int, element: ast.AST) -> None:
+        self.blocks[block].elements.append(element)
+
+    def build(self) -> CFG:
+        entry = self.new_block()
+        end = self.body(self.func.body, entry)
+        exit_block = self.new_block()
+        if end is not None:
+            self.edge(end, exit_block)
+        for src in self.exit_edges:
+            self.edge(src, exit_block)
+        return CFG(
+            func=self.func,
+            blocks=self.blocks,
+            entry=entry,
+            exit=exit_block,
+        )
+
+    def body(
+        self, stmts: "list[ast.stmt]", current: "int | None"
+    ) -> "int | None":
+        """Thread ``stmts`` through the graph; ``None`` = fell off."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code still gets blocks (so every element
+                # lives somewhere), just with no incoming edges.
+                current = self.new_block()
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, stmt: ast.stmt, current: int) -> "int | None":
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.add(current, stmt)
+            return self.body(stmt.body, current)
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.edge(current, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.edge(current, self.loops[-1].head)
+            return None
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.add(current, stmt)
+            self.exit_edges.append(current)
+            return None
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # Nested scope: its body is not part of this graph, but the
+            # def itself binds a local name, so it stays an element.
+            self.add(current, stmt)
+            return current
+        self.add(current, stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: int) -> "int | None":
+        self.add(current, stmt.test)
+        after = self.new_block()
+        then_start = self.new_block()
+        self.edge(current, then_start)
+        then_end = self.body(stmt.body, then_start)
+        if then_end is not None:
+            self.edge(then_end, after)
+        if stmt.orelse:
+            else_start = self.new_block()
+            self.edge(current, else_start)
+            else_end = self.body(stmt.orelse, else_start)
+            if else_end is not None:
+                self.edge(else_end, after)
+        else:
+            self.edge(current, after)
+        return after
+
+    def _loop(
+        self,
+        stmt: "ast.While | ast.For | ast.AsyncFor",
+        current: int,
+    ) -> int:
+        head = self.new_block()
+        self.edge(current, head)
+        if isinstance(stmt, ast.While):
+            self.add(head, stmt.test)
+        else:
+            # The For node itself is the element: dataflow reads the
+            # iterable and defines the loop targets from it.
+            self.add(head, stmt)
+        after = self.new_block()
+        body_start = self.new_block()
+        self.edge(head, body_start)
+        self.loops.append(_Loop(head=head, after=after))
+        body_end = self.body(stmt.body, body_start)
+        self.loops.pop()
+        if body_end is not None:
+            self.edge(body_end, head)
+        if stmt.orelse:
+            else_start = self.new_block()
+            self.edge(head, else_start)
+            else_end = self.body(stmt.orelse, else_start)
+            if else_end is not None:
+                self.edge(else_end, after)
+        else:
+            self.edge(head, after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> "int | None":
+        body_start = self.new_block()
+        self.edge(current, body_start)
+        first_try_block = len(self.blocks) - 1
+        body_end = self.body(stmt.body, body_start)
+        last_try_block = len(self.blocks)
+        if stmt.orelse:
+            if body_end is not None:
+                else_start = self.new_block()
+                self.edge(body_end, else_start)
+                body_end = self.body(stmt.orelse, else_start)
+        handler_ends: "list[int]" = []
+        for handler in stmt.handlers:
+            h_start = self.new_block()
+            # Cheap exception model: any block of the try body may
+            # transfer to any handler.
+            for idx in range(first_try_block, last_try_block):
+                self.edge(idx, h_start)
+            if handler.name:
+                self.add(h_start, handler)
+            h_end = self.body(handler.body, h_start)
+            if h_end is not None:
+                handler_ends.append(h_end)
+        tails = handler_ends
+        if body_end is not None:
+            tails = [body_end, *handler_ends]
+        if stmt.finalbody:
+            fin_start = self.new_block()
+            for tail in tails:
+                self.edge(tail, fin_start)
+            if not tails:
+                # Every path raised/returned; the finally still runs on
+                # the way out — keep it reachable from the try body.
+                for idx in range(first_try_block, last_try_block):
+                    self.edge(idx, fin_start)
+            return self.body(stmt.finalbody, fin_start)
+        if not tails:
+            return None
+        after = self.new_block()
+        for tail in tails:
+            self.edge(tail, after)
+        return after
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one (async) function def."""
+    return _Builder(func).build()

@@ -1,0 +1,493 @@
+"""Worklist fixpoint engine + the two shipped dataflow analyses.
+
+:func:`solve_forward` runs any :class:`ForwardAnalysis` to a fixpoint
+over a :class:`~repro.analysis.cfg.CFG` using a reverse-postorder
+worklist. Two analyses ship with it:
+
+* :class:`ReachingDefinitions` — which ``(name, line)`` definitions can
+  reach each program point (the classic may-analysis; exercised by the
+  core fixtures and available to future rules);
+* :class:`TaintAnalysis` — label propagation from declared *sources*
+  through assignments into *sinks*, cut by *sanitizer* calls. Rules
+  declare a :class:`TaintSpec`; :func:`taint_findings` returns the
+  sink calls reachable by tainted data.
+
+Both analyses work on block *elements* (see :mod:`repro.analysis.cfg`)
+via :func:`assignments_in` / :func:`element_exprs`, so they share one
+model of what a statement defines and what it evaluates.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterator, Tuple
+
+from repro.analysis.cfg import CFG, FunctionNode, build_cfg
+
+# ----------------------------------------------------------------------
+# Statement model shared by the analyses
+# ----------------------------------------------------------------------
+
+
+def _target_names(target: ast.expr) -> "list[str]":
+    """Plain local names bound by an assignment target.
+
+    ``a``, ``(a, b)``, ``[a, *rest]`` all contribute names; attribute
+    and subscript targets mutate existing objects and bind nothing.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: "list[str]" = []
+        for elt in target.elts:
+            names.extend(_target_names(elt))
+        return names
+    return []
+
+
+def assignments_in(elem: ast.AST) -> "list[tuple[str, ast.expr | None]]":
+    """``(name, value_expr)`` pairs an element binds.
+
+    ``value_expr`` is ``None`` when there is no evaluable right-hand
+    side carrying taint (``except ... as e``, ``def`` statements). A
+    ``for`` loop binds its targets from the iterable; walrus
+    assignments anywhere inside the element bind too.
+    """
+    pairs: "list[tuple[str, ast.expr | None]]" = []
+    if isinstance(elem, ast.Assign):
+        for target in elem.targets:
+            for name in _target_names(target):
+                pairs.append((name, elem.value))
+    elif isinstance(elem, ast.AnnAssign):
+        if elem.value is not None:
+            for name in _target_names(elem.target):
+                pairs.append((name, elem.value))
+    elif isinstance(elem, ast.AugAssign):
+        for name in _target_names(elem.target):
+            pairs.append((name, elem.value))
+    elif isinstance(elem, (ast.For, ast.AsyncFor)):
+        for name in _target_names(elem.target):
+            pairs.append((name, elem.iter))
+    elif isinstance(elem, (ast.With, ast.AsyncWith)):
+        for item in elem.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    pairs.append((name, item.context_expr))
+    elif isinstance(elem, ast.ExceptHandler):
+        if elem.name:
+            pairs.append((elem.name, None))
+    elif isinstance(
+        elem, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        pairs.append((elem.name, None))
+    for node in _walk_element(elem):
+        if isinstance(node, ast.NamedExpr):
+            for name in _target_names(node.target):
+                pairs.append((name, node.value))
+    return pairs
+
+
+def element_exprs(elem: ast.AST) -> "list[ast.expr]":
+    """The expressions an element evaluates when control reaches it.
+
+    For compound elements only the parts that execute *at* the element
+    are returned (a ``for`` evaluates its iterable; its body lives in
+    other blocks).
+    """
+    if isinstance(elem, ast.expr):
+        return [elem]
+    if isinstance(elem, (ast.For, ast.AsyncFor)):
+        return [elem.iter]
+    if isinstance(elem, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in elem.items]
+    if isinstance(elem, ast.Assign):
+        return [elem.value]
+    if isinstance(elem, ast.AnnAssign):
+        return [elem.value] if elem.value is not None else []
+    if isinstance(elem, ast.AugAssign):
+        return [elem.value]
+    if isinstance(elem, ast.Return):
+        return [elem.value] if elem.value is not None else []
+    if isinstance(elem, ast.Raise):
+        return [e for e in (elem.exc, elem.cause) if e is not None]
+    if isinstance(elem, ast.Expr):
+        return [elem.value]
+    if isinstance(elem, ast.Assert):
+        return [e for e in (elem.test, elem.msg) if e is not None]
+    if isinstance(elem, ast.Delete):
+        return []
+    if isinstance(
+        elem,
+        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+         ast.ExceptHandler),
+    ):
+        return []
+    return [
+        child for child in ast.iter_child_nodes(elem)
+        if isinstance(child, ast.expr)
+    ]
+
+
+def _walk_element(elem: ast.AST) -> "Iterator[ast.AST]":
+    """Walk an element without descending into nested scope bodies."""
+    stack: "list[ast.AST]" = list(element_exprs(elem))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# Generic forward worklist solver
+# ----------------------------------------------------------------------
+
+State = FrozenSet[Tuple[str, ...]]
+
+
+class ForwardAnalysis:
+    """A forward may-analysis over frozenset states.
+
+    Subclasses provide the entry state, the join (set union by
+    default), and the per-element transfer function.
+    """
+
+    def initial(self, cfg: CFG) -> frozenset:
+        """State at the function entry."""
+        return frozenset()
+
+    def join(self, states: "list[frozenset]") -> frozenset:
+        out: frozenset = frozenset()
+        for state in states:
+            out = out | state
+        return out
+
+    def transfer(self, elem: ast.AST, state: frozenset) -> frozenset:
+        raise NotImplementedError
+
+
+def solve_forward(
+    cfg: CFG, analysis: ForwardAnalysis
+) -> "tuple[dict[int, frozenset], dict[int, frozenset]]":
+    """Run ``analysis`` to fixpoint; returns per-block (in, out) states.
+
+    Visits blocks in reverse postorder and re-queues a block whenever
+    one of its predecessors' out-state grows; termination follows from
+    the finite lattice (frozensets over program facts) and monotone
+    transfers.
+    """
+    order = cfg.reverse_postorder()
+    position = {index: pos for pos, index in enumerate(order)}
+    ins: "dict[int, frozenset]" = {}
+    outs: "dict[int, frozenset]" = {}
+    for index in order:
+        ins[index] = frozenset()
+        outs[index] = frozenset()
+    ins[cfg.entry] = analysis.initial(cfg)
+
+    pending = set(order)
+    while pending:
+        index = min(pending, key=lambda i: position[i])
+        pending.discard(index)
+        block = cfg.block(index)
+        preds = [p for p in block.preds if p in outs]
+        if preds and index != cfg.entry:
+            ins[index] = analysis.join([outs[p] for p in preds])
+        state = ins[index]
+        for elem in block.elements:
+            state = analysis.transfer(elem, state)
+        if state != outs[index]:
+            outs[index] = state
+            for succ in block.succs:
+                if succ in position:
+                    pending.add(succ)
+    return ins, outs
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+
+
+class ReachingDefinitions(ForwardAnalysis):
+    """Facts are ``(name, line)``: definition of ``name`` at ``line``
+    may reach this point. Parameters are definitions at the ``def``
+    line (line 0 facts would be invisible in reports)."""
+
+    def initial(self, cfg: CFG) -> frozenset:
+        args = cfg.func.args
+        names = [
+            a.arg
+            for a in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            )
+        ]
+        return frozenset((name, cfg.func.lineno) for name in names)
+
+    def transfer(self, elem: ast.AST, state: frozenset) -> frozenset:
+        pairs = assignments_in(elem)
+        if not pairs:
+            return state
+        killed = {name for name, _ in pairs}
+        kept = {fact for fact in state if fact[0] not in killed}
+        for name, _ in pairs:
+            kept.add((name, elem.lineno))
+        return frozenset(kept)
+
+
+def reaching_definitions(
+    func: FunctionNode,
+) -> "dict[str, set[int]]":
+    """Definition lines per name that may reach the function exit."""
+    cfg = build_cfg(func)
+    _, outs = solve_forward(cfg, ReachingDefinitions())
+    exit_in: "dict[str, set[int]]" = {}
+    for pred in cfg.block(cfg.exit).preds:
+        for name, line in outs.get(pred, frozenset()):
+            exit_in.setdefault(name, set()).add(line)
+    return exit_in
+
+
+# ----------------------------------------------------------------------
+# Taint propagation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What a taint rule considers dangerous.
+
+    Names in ``source_calls``/``sanitizers`` match on the final dotted
+    component of the resolved call target (``recv_frame`` matches both
+    the local call and ``repro.sweep.remote.recv_frame``). Sinks match
+    the full canonical name in ``sink_calls`` or the final component in
+    ``sink_locals``; ``sink_methods`` match method calls by attribute
+    name on any receiver.
+    """
+
+    source_calls: "frozenset[str]" = frozenset()
+    source_params: "frozenset[str]" = frozenset()
+    sanitizers: "frozenset[str]" = frozenset()
+    sink_calls: "frozenset[str]" = frozenset()
+    sink_locals: "frozenset[str]" = frozenset()
+    sink_methods: "frozenset[str]" = frozenset()
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One sink call reached by tainted data."""
+
+    call: ast.Call = field(compare=False)
+    sink: str
+    line: int
+    col: int
+    tainted_names: "tuple[str, ...]"
+
+
+def _last_component(name: "str | None") -> "str | None":
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+class _TaintEvaluator:
+    """Taint of an expression under an environment of tainted names."""
+
+    def __init__(
+        self,
+        spec: TaintSpec,
+        resolve: "Callable[[ast.Call], str | None]",
+    ) -> None:
+        self.spec = spec
+        self.resolve = resolve
+
+    def tainted(self, expr: "ast.expr | None", env: frozenset) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in env
+        if isinstance(expr, ast.Lambda):
+            return False
+        if isinstance(expr, ast.Compare):
+            return False  # comparisons yield booleans, not payload data
+        if isinstance(expr, ast.IfExp):
+            # Only the chosen value flows; the test is a control
+            # dependence, which this analysis (like most taint
+            # trackers) does not propagate.
+            return self.tainted(expr.body, env) or self.tainted(
+                expr.orelse, env
+            )
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env)
+        if isinstance(
+            expr,
+            (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+        ):
+            return self._comprehension(expr, env)
+        return any(
+            self.tainted(child, env)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        )
+
+    def _call(self, call: ast.Call, env: frozenset) -> bool:
+        name = _last_component(self.resolve(call))
+        if name is None and isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        if name in self.spec.sanitizers:
+            return False
+        if name in self.spec.source_calls:
+            return True
+        if isinstance(call.func, ast.Attribute) and self.tainted(
+            call.func.value, env
+        ):
+            return True  # frame.get(...), payload.decode(), ...
+        for arg in call.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            if self.tainted(value, env):
+                return True
+        return any(self.tainted(kw.value, env) for kw in call.keywords)
+
+    def _comprehension(self, expr: ast.expr, env: frozenset) -> bool:
+        """Comprehension targets are scoped: they carry the taint of
+        their iterable, not of same-named outer variables."""
+        inner = set(env)
+        for gen in expr.generators:
+            names = _target_names(gen.target)
+            if self.tainted(gen.iter, frozenset(inner)):
+                inner.update(names)
+            else:
+                inner.difference_update(names)
+        inner_env = frozenset(inner)
+        if isinstance(expr, ast.DictComp):
+            parts: "list[ast.expr]" = [expr.key, expr.value]
+        else:
+            parts = [expr.elt]  # type: ignore[attr-defined]
+        parts.extend(
+            cond for gen in expr.generators for cond in gen.ifs
+        )
+        return any(self.tainted(part, inner_env) for part in parts)
+
+
+class TaintAnalysis(ForwardAnalysis):
+    """Facts are tainted local names."""
+
+    def __init__(
+        self,
+        spec: TaintSpec,
+        resolve: "Callable[[ast.Call], str | None]",
+        entry_tainted: "frozenset[str]" = frozenset(),
+    ) -> None:
+        self.spec = spec
+        self.entry_tainted = entry_tainted
+        self._eval = _TaintEvaluator(spec, resolve)
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return frozenset(self.entry_tainted)
+
+    def transfer(self, elem: ast.AST, state: frozenset) -> frozenset:
+        out = set(state)
+        for name, value in assignments_in(elem):
+            if value is not None and self._eval.tainted(
+                value, frozenset(out)
+            ):
+                out.add(name)
+            else:
+                out.discard(name)
+        return frozenset(out)
+
+
+def taint_findings(
+    func: FunctionNode,
+    spec: TaintSpec,
+    resolve: "Callable[[ast.Call], str | None]",
+    entry_tainted: "frozenset[str]" = frozenset(),
+) -> "list[SinkHit]":
+    """Sink calls inside ``func`` reachable by tainted data.
+
+    Solves the taint fixpoint, then replays each block with its
+    in-state, checking every call against the spec's sinks.
+    """
+    cfg = build_cfg(func)
+    analysis = TaintAnalysis(
+        spec, resolve, entry_tainted=entry_tainted
+    )
+    ins, _ = solve_forward(cfg, analysis)
+    evaluator = analysis._eval
+    hits: "list[SinkHit]" = []
+    seen: "set[tuple[int, int, str]]" = set()
+    for index in cfg.reverse_postorder():
+        state = ins.get(index, frozenset())
+        for elem in cfg.block(index).elements:
+            for expr in element_exprs(elem):
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Call):
+                        hit = _check_sink(
+                            node, state, spec, resolve, evaluator
+                        )
+                        if hit is not None:
+                            key = (hit.line, hit.col, hit.sink)
+                            if key not in seen:
+                                seen.add(key)
+                                hits.append(hit)
+            state = analysis.transfer(elem, state)
+    hits.sort(key=lambda h: (h.line, h.col, h.sink))
+    return hits
+
+
+def _check_sink(
+    call: ast.Call,
+    state: frozenset,
+    spec: TaintSpec,
+    resolve: "Callable[[ast.Call], str | None]",
+    evaluator: _TaintEvaluator,
+) -> "SinkHit | None":
+    canonical = resolve(call)
+    sink: "str | None" = None
+    if canonical is not None and canonical in spec.sink_calls:
+        sink = canonical
+    elif _last_component(canonical) in spec.sink_locals:
+        sink = _last_component(canonical)
+    elif (
+        canonical is None
+        and isinstance(call.func, ast.Attribute)
+        and call.func.attr in spec.sink_methods
+    ):
+        sink = call.func.attr
+    if sink is None:
+        return None
+    tainted: "list[str]" = []
+    values: "list[ast.expr]" = []
+    for arg in call.args:
+        values.append(
+            arg.value if isinstance(arg, ast.Starred) else arg
+        )
+    values.extend(kw.value for kw in call.keywords)
+    for value in values:
+        if evaluator.tainted(value, state):
+            for node in ast.walk(value):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id in state
+                    and node.id not in tainted
+                ):
+                    tainted.append(node.id)
+            if not tainted:
+                tainted.append("<expr>")
+    if not tainted:
+        return None
+    return SinkHit(
+        call=call,
+        sink=sink,
+        line=call.lineno,
+        col=call.col_offset,
+        tainted_names=tuple(tainted),
+    )

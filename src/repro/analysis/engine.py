@@ -59,7 +59,7 @@ class AnalysisRun:
 def select_rules(
     select: "Sequence[str] | None" = None,
     ignore: "Sequence[str] | None" = None,
-):
+) -> "list":
     """Resolve ``--select``/``--ignore`` into a rule list.
 
     Unknown codes raise :class:`~repro.utils.errors.ValidationError`

@@ -1,0 +1,169 @@
+"""Lock identities and ``with``-guarded regions.
+
+Shared by the concurrency rules: RPR006 asks "is this access inside a
+``with self._lock:``", RPR007 builds the acquisition graph over these
+regions, RPR010 scans their bodies for blocking calls.
+
+A lock identity is ``("ClassName", "attr")`` for instance locks
+(``with self._lock:``) or ``("<module>/<relpath>", name)`` for
+module-level locks (``with _GLOBAL_LOCK:``). Identities are name-based
+on purpose: two instances of one class naming the same attribute use
+"the same lock" as far as ordering discipline goes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.analysis.astutil import ancestors, dotted_parts
+from repro.analysis.project import Module
+from repro.analysis.threads import (
+    LOCKLIKE_SUFFIXES,
+    ThreadModel,
+)
+
+LockId = Tuple[str, str]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_locks(module: Module) -> "set[str]":
+    """Names of module-level ``NAME = threading.Lock()`` assignments."""
+    names: "set[str]" = set()
+    for stmt in module.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            continue
+        parts = dotted_parts(stmt.value.func)
+        if parts and parts[-1] in LOCKLIKE_SUFFIXES:
+            names.add(stmt.targets[0].id)
+    return names
+
+
+def _class_lock_attrs(
+    model: ThreadModel, relpath: str, class_name: str
+) -> "set[str]":
+    """Lock attributes visible to ``class_name``: its own plus any
+    related class's (a subclass guards with the base's lock)."""
+    attrs: "set[str]" = set()
+    for related in model.related_classes.get(
+        class_name, frozenset({class_name})
+    ):
+        for (rel, cls), names in model.lock_attrs.items():
+            if cls == related:
+                attrs |= names
+    return attrs
+
+
+def lock_of_with_item(
+    item: ast.withitem,
+    module: Module,
+    model: ThreadModel,
+    class_name: "str | None",
+) -> "LockId | None":
+    """The lock a ``with`` item acquires, or ``None``.
+
+    ``with self._lock:`` and ``with self._cond:`` resolve through the
+    class's (hierarchy-wide) lock attributes; ``with _LOCK:`` through
+    module-level lock assignments. ``with lock_obj.acquire...`` and
+    anything else stay unresolved.
+    """
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and class_name is not None
+    ):
+        if expr.attr in _class_lock_attrs(
+            model, module.relpath, class_name
+        ):
+            return (class_name, expr.attr)
+        return None
+    if isinstance(expr, ast.Name):
+        if expr.id in module_locks(module):
+            return (f"<module>/{module.relpath}", expr.id)
+    return None
+
+
+@dataclass(frozen=True)
+class LockRegion:
+    """One ``with`` statement that acquires a known lock."""
+
+    lock: LockId
+    node: ast.With
+
+
+def lock_regions_in(
+    func: ast.AST,
+    module: Module,
+    model: ThreadModel,
+    class_name: "str | None",
+) -> "list[LockRegion]":
+    """Every lock-acquiring ``with`` lexically inside ``func`` (not
+    descending into nested defs)."""
+    out: "list[LockRegion]" = []
+    stack: "list[ast.AST]" = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNC_NODES, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock = lock_of_with_item(item, module, model, class_name)
+                if lock is not None:
+                    out.append(LockRegion(lock=lock, node=node))
+        stack.extend(ast.iter_child_nodes(node))
+    out.sort(key=lambda r: (r.node.lineno, r.node.col_offset))
+    return out
+
+
+def held_locks_at(
+    node: ast.AST,
+    module: Module,
+    model: ThreadModel,
+    class_name: "str | None",
+) -> "set[LockId]":
+    """Locks held when ``node`` executes, by lexical ``with`` nesting.
+
+    This is the structured-code approximation of dominance: a ``with``
+    body is dominated by the ``with`` entry, so everything lexically
+    inside runs under the lock. Stops at function boundaries — a
+    nested def's body executes later, on whatever thread calls it.
+    """
+    held: "set[LockId]" = set()
+    previous: ast.AST = node
+    for anc in ancestors(node):
+        if isinstance(anc, _FUNC_NODES):
+            break
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            # Only the body is guarded; the context expression itself
+            # evaluates before the acquire.
+            if previous in anc.body:
+                for item in anc.items:
+                    lock = lock_of_with_item(
+                        item, module, model, class_name
+                    )
+                    if lock is not None:
+                        held.add(lock)
+        if isinstance(anc, ast.stmt):
+            previous = anc
+    return held
+
+
+def region_body_nodes(region: LockRegion) -> Iterator[ast.AST]:
+    """Every node executing while the region's lock is held (the
+    ``with`` body, excluding nested def/class bodies)."""
+    stack: "list[ast.AST]" = list(region.node.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (*_FUNC_NODES, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

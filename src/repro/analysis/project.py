@@ -13,6 +13,7 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.analysis.astutil import attach_parents
 from repro.utils.errors import DataError
@@ -54,13 +55,13 @@ class AnalysisContext:
         """
         return self.modules.get(relpath)
 
-    def walk(self):
+    def walk(self) -> "Iterator[Module]":
         """All modules, sorted by relpath (deterministic rule order)."""
         for relpath in sorted(self.modules):
             yield self.modules[relpath]
 
 
-def iter_python_files(root: str):
+def iter_python_files(root: str) -> "Iterator[tuple[str, str]]":
     """Yield ``(abspath, posix relpath)`` for every ``.py`` under root."""
     root = os.path.abspath(root)
     if os.path.isfile(root):

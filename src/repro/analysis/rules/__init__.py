@@ -8,8 +8,13 @@ One module per rule, named after what it protects — see
 
 from repro.analysis.rules import (  # noqa: F401  (imported to register)
     atomic_writes,
+    blocking_locks,
     cache_key,
+    callback_thread,
     determinism,
+    lock_discipline,
+    lock_ordering,
     resource_safety,
     wire_schema,
+    wire_taint,
 )

@@ -25,6 +25,7 @@ exists for.
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
 from repro.analysis.astutil import (
     enclosing_class,
@@ -34,7 +35,8 @@ from repro.analysis.astutil import (
     walk_calls,
 )
 from repro.analysis.base import Rule, register_rule
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
 
 SCOPED_PREFIXES = ("sweep/", "bench/")
 SCOPED_FILES = ("core/precompute.py",)
@@ -80,7 +82,7 @@ class AtomicWritesRule(Rule):
         "never a bare truncating open()"
     )
 
-    def check(self, ctx):
+    def check(self, ctx: AnalysisContext) -> "Iterator[Finding]":
         for module in ctx.walk():
             if not (
                 module.relpath.startswith(SCOPED_PREFIXES)

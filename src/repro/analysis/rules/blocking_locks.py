@@ -1,0 +1,280 @@
+"""RPR010: no blocking calls while holding a lock.
+
+A lock region should protect a few dict operations, not a socket
+round-trip: blocking under a lock turns one slow peer into a stalled
+fabric (every other thread piles up on the lock), and blocking
+*forever* under a lock is a deadlock with extra steps.
+
+Flagged inside any ``with <lock>:`` region (directly, or in a project
+function called — transitively — from one): socket operations
+(``.recv``/``.accept``/``.sendall``/``.connect``/``.makefile``),
+subprocess launches, ``time.sleep``, ``select.select``, dense linear
+algebra (``numpy.linalg.*``/``scipy.linalg.*``), and the repo's own
+frame-I/O wrappers (``send_frame``/``recv_frame``/
+``connect_authenticated``/``ping``/handshakes).
+
+``Condition.wait`` on the *held* condition is exempt — it releases
+the lock while sleeping; that is the one blocking call locks exist
+for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.astutil import import_aliases, resolve_call
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.locks import (
+    LockRegion,
+    lock_regions_in,
+    region_body_nodes,
+)
+from repro.analysis.project import AnalysisContext, Module
+from repro.analysis.threads import (
+    FunctionInfo,
+    ThreadModel,
+    resolver_for,
+    thread_model,
+)
+
+#: Canonical (alias-resolved) call targets that block.
+BLOCKING_CANONICAL = frozenset({
+    "time.sleep",
+    "select.select",
+    "socket.create_connection",
+    "subprocess.Popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+})
+
+#: Canonical prefixes that mark dense linear algebra.
+BLOCKING_PREFIXES = (
+    "numpy.linalg.",
+    "scipy.linalg.",
+    "scipy.sparse.linalg.",
+)
+
+#: Project wrappers (matched on the final name component) that hide a
+#: socket round-trip.
+BLOCKING_LOCALS = frozenset({
+    "send_frame",
+    "recv_frame",
+    "connect_authenticated",
+    "client_handshake",
+    "server_handshake",
+    "ping",
+})
+
+#: Method names that block on sockets/processes regardless of receiver.
+BLOCKING_METHODS = frozenset({
+    "recv", "recv_into", "accept", "sendall", "makefile", "connect",
+    "wait",
+})
+
+
+def _blocking_reason(
+    call: ast.Call,
+    aliases: "dict[str, str]",
+    held_attrs: "set[str]",
+) -> "str | None":
+    """Why this call blocks, or ``None``. ``held_attrs`` are the
+    ``self.<attr>`` names of locks held here (for the
+    ``self._cond.wait()`` exemption)."""
+    canonical = resolve_call(call, aliases)
+    if canonical is not None:
+        if canonical in BLOCKING_CANONICAL:
+            return f"'{canonical}' blocks"
+        for prefix in BLOCKING_PREFIXES:
+            if canonical.startswith(prefix):
+                return f"dense linear algebra '{canonical}'"
+        local = canonical.rsplit(".", 1)[-1]
+        if local in BLOCKING_LOCALS:
+            return f"'{local}' performs socket I/O"
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in BLOCKING_LOCALS:
+            return f"'{func.attr}' performs socket I/O"
+        if func.attr in BLOCKING_METHODS:
+            if func.attr == "wait" and _is_held_condition(
+                func.value, held_attrs
+            ):
+                return None  # Condition.wait releases the lock
+            return f"'.{func.attr}()' blocks"
+    return None
+
+
+def _is_held_condition(
+    receiver: ast.expr, held_attrs: "set[str]"
+) -> bool:
+    return (
+        isinstance(receiver, ast.Attribute)
+        and isinstance(receiver.value, ast.Name)
+        and receiver.value.id == "self"
+        and receiver.attr in held_attrs
+    )
+
+
+@register_rule
+class BlockingUnderLockRule(Rule):
+    code = "RPR010"
+    name = "blocking-under-lock"
+    severity = Severity.WARNING
+    summary = (
+        "no socket, subprocess, sleep, or dense linear-algebra call "
+        "while holding a lock"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        model = thread_model(ctx)
+        blocking_fns = self._transitively_blocking(ctx, model)
+        for module in ctx.walk():
+            aliases = import_aliases(module.tree)
+            for info in sorted(
+                (
+                    i for i in model.functions.values()
+                    if i.relpath == module.relpath
+                ),
+                key=lambda i: i.qualname,
+            ):
+                for region in lock_regions_in(
+                    info.node, module, model, info.class_name
+                ):
+                    yield from self._check_region(
+                        region, info, module, model, aliases,
+                        blocking_fns,
+                    )
+
+    # ------------------------------------------------------------------
+    def _direct_reason(
+        self,
+        info: FunctionInfo,
+        module: Module,
+        aliases: "dict[str, str]",
+    ) -> "str | None":
+        """Why ``info`` blocks directly (anywhere in its body)."""
+        stack: "list[ast.AST]" = list(ast.iter_child_nodes(info.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                reason = _blocking_reason(node, aliases, set())
+                if reason is not None:
+                    return reason
+            stack.extend(ast.iter_child_nodes(node))
+        return None
+
+    def _transitively_blocking(
+        self, ctx: AnalysisContext, model: ThreadModel
+    ) -> "dict[tuple[str, str], str]":
+        """Function key → reason, for functions that block (directly
+        or via project calls). ``Condition.wait`` inside a function's
+        own lock region does not count — that is the sanctioned
+        blocking pattern, not a hazard to propagate to callers."""
+        reasons: "dict[tuple[str, str], str]" = {}
+        alias_cache: "dict[str, dict[str, str]]" = {}
+        for info in model.functions.values():
+            module = ctx.get(info.relpath)
+            if module is None:
+                continue
+            aliases = alias_cache.setdefault(
+                info.relpath, import_aliases(module.tree)
+            )
+            own_lock_attrs = {
+                region.lock[1]
+                for region in lock_regions_in(
+                    info.node, module, model, info.class_name
+                )
+            }
+            stack: "list[ast.AST]" = list(
+                ast.iter_child_nodes(info.node)
+            )
+            while stack:
+                node = stack.pop()
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef,
+                     ast.ClassDef),
+                ):
+                    continue
+                if isinstance(node, ast.Call):
+                    reason = _blocking_reason(
+                        node, aliases, own_lock_attrs
+                    )
+                    if reason is not None:
+                        reasons.setdefault(info.key, reason)
+                stack.extend(ast.iter_child_nodes(node))
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in model.calls.items():
+                if caller in reasons:
+                    continue
+                for callee in sorted(callees):
+                    if callee in reasons:
+                        via = model.functions[callee].qualname
+                        reasons[caller] = (
+                            f"calls '{via}', which blocks "
+                            f"({reasons[callee]})"
+                        )
+                        changed = True
+                        break
+        return reasons
+
+    def _check_region(
+        self,
+        region: LockRegion,
+        info: FunctionInfo,
+        module: Module,
+        model: ThreadModel,
+        aliases: "dict[str, str]",
+        blocking_fns: "dict[tuple[str, str], str]",
+    ) -> Iterator[Finding]:
+        resolver = resolver_for(model)
+        held_attrs = {region.lock[1]}
+        lock_name = (
+            f"self.{region.lock[1]}"
+            if not region.lock[0].startswith("<module>/")
+            else region.lock[1]
+        )
+        seen: "set[tuple[int, int]]" = set()
+        for node in region_body_nodes(region):
+            if not isinstance(node, ast.Call):
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                continue
+            reason = _blocking_reason(node, aliases, held_attrs)
+            if reason is None:
+                callee_reason: "str | None" = None
+                for callee in resolver.resolve_callable(
+                    node.func, info
+                ):
+                    if callee.key in blocking_fns:
+                        callee_reason = (
+                            f"calls '{callee.qualname}', which blocks "
+                            f"({blocking_fns[callee.key]})"
+                        )
+                        break
+                reason = callee_reason
+            if reason is None:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                f"blocking call while holding '{lock_name}' in "
+                f"'{info.qualname}': {reason}; move the slow work "
+                "outside the lock region",
+            )

@@ -29,10 +29,12 @@ loops over one of the declared tuples and checks itself.
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
 from repro.analysis.astutil import module_constant, node_for_constant
 from repro.analysis.base import Rule, register_rule
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
 
 CONFIG_MODULE = "core/config.py"
 PRECOMPUTE_MODULE = "core/precompute.py"
@@ -65,7 +67,14 @@ def _is_config_base(node: ast.expr) -> bool:
     return False
 
 
-def _declared_tuple(tree, name, required, findings, rule, relpath):
+def _declared_tuple(
+    tree: ast.Module,
+    name: str,
+    required: bool,
+    findings: "list[Finding]",
+    rule: Rule,
+    relpath: str,
+) -> "tuple[str, ...]":
     """A declared field tuple, validating it is a literal tuple of strings."""
     value = module_constant(tree, name)
     node = node_for_constant(tree, name)
@@ -100,7 +109,7 @@ class CacheKeyCoverageRule(Rule):
         "(rebind-healed)"
     )
 
-    def check(self, ctx):
+    def check(self, ctx: AnalysisContext) -> "Iterator[Finding]":
         config_mod = ctx.get(CONFIG_MODULE)
         pre_mod = ctx.get(PRECOMPUTE_MODULE)
         if config_mod is None or pre_mod is None:

@@ -1,0 +1,89 @@
+"""RPR009: ``on_outcome`` fires on the parent/driver thread, only.
+
+The PR 3/4 streaming contract: backends deliver ``on_outcome(index,
+outcome)`` events on the thread that called ``run`` — consumers
+(stream writers, progress UIs, resume bookkeeping) are written
+single-threaded against that promise. A backend that invokes the
+callback from a worker-pool thread or a connection-handler thread
+silently breaks every consumer. The remote backend honors it by
+funneling worker events through a queue that the parent drains.
+
+This rule machine-checks the contract: any call to ``on_outcome``
+(bare or attribute) inside a function whose runs-on set contains a
+thread or pool entry is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
+from repro.analysis.threads import (
+    describe_entries,
+    thread_model,
+)
+
+CALLBACK_NAME = "on_outcome"
+
+
+@register_rule
+class CallbackThreadRule(Rule):
+    code = "RPR009"
+    name = "callback-thread"
+    severity = Severity.ERROR
+    summary = (
+        "on_outcome must be invoked from the parent thread, never "
+        "from a worker-pool or handler thread"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        model = thread_model(ctx)
+        for module in ctx.walk():
+            for info in sorted(
+                (
+                    i for i in model.functions.values()
+                    if i.relpath == module.relpath
+                ),
+                key=lambda i: i.qualname,
+            ):
+                threaded = model.threaded_entries(info.key)
+                if not threaded:
+                    continue
+                for node in _own_calls(info.node):
+                    if not _is_callback_call(node):
+                        continue
+                    yield self.finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"'{CALLBACK_NAME}' is invoked from "
+                        f"'{info.qualname}', which runs on "
+                        f"{describe_entries(threaded)}; the streaming "
+                        "contract requires the parent thread — route "
+                        "events through a queue the caller drains",
+                    )
+
+
+def _own_calls(func: ast.AST) -> "Iterator[ast.Call]":
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_callback_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == CALLBACK_NAME
+    if isinstance(func, ast.Attribute):
+        return func.attr == CALLBACK_NAME
+    return False

@@ -26,9 +26,12 @@ sanctioned wrappers live.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.analysis.astutil import import_aliases, resolve_call, walk_calls
 from repro.analysis.base import Rule, register_rule
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
 
 SCOPED_DIRS = ("core/", "spectral/", "sweep/")
 
@@ -67,7 +70,7 @@ class DeterminismRule(Rule):
         "time.monotonic() / utils.timing.wall_clock()"
     )
 
-    def check(self, ctx):
+    def check(self, ctx: AnalysisContext) -> "Iterator[Finding]":
         for module in ctx.walk():
             if not module.relpath.startswith(SCOPED_DIRS):
                 continue

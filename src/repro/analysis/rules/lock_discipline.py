@@ -1,0 +1,251 @@
+"""RPR006: cross-thread instance state must stay under one lock.
+
+An instance attribute *written* outside the constructor from two or
+more distinct thread entry points (per the
+:mod:`repro.analysis.threads` runs-on map) is shared mutable state.
+Every access to it — read or write, in any non-constructor method —
+must then execute under the same ``with self.<lock>:`` region, or
+inside a method whose name ends in ``_locked`` (the repo convention
+for "caller already holds the lock"; call sites of such methods must
+themselves hold it).
+
+Attributes that are synchronization primitives themselves
+(``threading.Event``, ``queue.Queue``, locks) are exempt — they exist
+to be touched from several threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.locks import held_locks_at
+from repro.analysis.project import AnalysisContext, Module
+from repro.analysis.threads import (
+    CONSTRUCTOR_NAMES,
+    FunctionInfo,
+    ThreadModel,
+    describe_entries,
+    enclosing_info,
+    thread_model,
+)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Method calls on an attribute that mutate the underlying container —
+#: ``self._pending.extend(...)`` is a write to ``_pending``.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "pop", "popitem", "clear",
+    "remove", "discard", "insert", "setdefault", "put",
+})
+
+
+class _Access:
+    __slots__ = ("attr", "node", "is_write", "info")
+
+    def __init__(
+        self,
+        attr: str,
+        node: ast.Attribute,
+        is_write: bool,
+        info: FunctionInfo,
+    ) -> None:
+        self.attr = attr
+        self.node = node
+        self.is_write = is_write
+        self.info = info
+
+
+def _self_accesses(
+    cls: ast.ClassDef,
+    module: Module,
+    model: ThreadModel,
+    method_names: "frozenset[str]",
+) -> Iterator[_Access]:
+    for node in ast.walk(cls):
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            continue
+        if node.attr in method_names:
+            continue  # method/property reference, not data state
+        info = enclosing_info(model, module.relpath, node)
+        if info is None or info.name in CONSTRUCTOR_NAMES:
+            continue
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+        parent = getattr(node, "parent", None)
+        if isinstance(parent, ast.Subscript) and isinstance(
+            parent.ctx, (ast.Store, ast.Del)
+        ):
+            is_write = True
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.attr in MUTATOR_METHODS
+            and isinstance(getattr(parent, "parent", None), ast.Call)
+            and parent.parent.func is parent  # type: ignore[attr-defined]
+        ):
+            is_write = True
+        yield _Access(node.attr, node, is_write, info)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    code = "RPR006"
+    name = "lock-discipline"
+    severity = Severity.ERROR
+    summary = (
+        "instance state written from several thread entry points must "
+        "have every access under the same lock"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        model = thread_model(ctx)
+        for module in ctx.walk():
+            for cls in module.tree.body:
+                if isinstance(cls, ast.ClassDef):
+                    yield from self._check_class(cls, module, model)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, cls: ast.ClassDef, module: Module, model: ThreadModel
+    ) -> Iterator[Finding]:
+        if cls.name not in model.shared_classes:
+            # Methods may run on several threads, but every thread
+            # holds its own instance — nothing here is shared state.
+            return
+        related = model.related_classes.get(
+            cls.name, frozenset({cls.name})
+        )
+        method_names = frozenset(
+            info.name
+            for info in model.functions.values()
+            if info.class_name in related
+        )
+        exempt: "set[str]" = set()
+        for (rel, name), attrs in model.sync_attrs.items():
+            if name in related:
+                exempt |= attrs
+
+        accesses: "list[_Access]" = list(
+            _self_accesses(cls, module, model, method_names)
+        )
+
+        by_attr: "dict[str, list[_Access]]" = {}
+        for access in accesses:
+            if access.attr not in exempt:
+                by_attr.setdefault(access.attr, []).append(access)
+
+        for attr in sorted(by_attr):
+            yield from self._check_attr(
+                attr, by_attr[attr], cls, module, model
+            )
+        yield from self._check_locked_call_sites(
+            cls, module, model, method_names
+        )
+
+    def _check_attr(
+        self,
+        attr: str,
+        accesses: "list[_Access]",
+        cls: ast.ClassDef,
+        module: Module,
+        model: ThreadModel,
+    ) -> Iterator[Finding]:
+        entries: "set[tuple[str, str]]" = set()
+        for access in accesses:
+            if access.is_write:
+                entries |= model.entries_for(access.info.key)
+        if len(entries) < 2:
+            return
+
+        held_per_access: "list[set]" = []
+        lock_votes: "dict[tuple[str, str], int]" = {}
+        for access in accesses:
+            held = held_locks_at(access.node, module, model, cls.name)
+            held_per_access.append(held)
+            for lock in held:
+                lock_votes[lock] = lock_votes.get(lock, 0) + 1
+        expected: "tuple[str, str] | None" = None
+        if lock_votes:
+            expected = sorted(
+                lock_votes, key=lambda k: (-lock_votes[k], k)
+            )[0]
+
+        described = describe_entries(frozenset(entries))
+        for access, held in zip(accesses, held_per_access):
+            if access.info.name.endswith("_locked"):
+                continue  # caller-holds-the-lock contract
+            if expected is None:
+                verb = "written" if access.is_write else "read"
+                yield self.finding(
+                    module.relpath,
+                    access.node.lineno,
+                    access.node.col_offset,
+                    f"'{cls.name}.{attr}' is written from multiple "
+                    f"thread entry points ({described}) but no access "
+                    f"holds a lock; guard it with one 'with "
+                    f"self.<lock>:' everywhere (this one is {verb} "
+                    f"in '{access.info.qualname}')",
+                )
+            elif expected not in held:
+                owner, lock_attr = expected
+                where = (
+                    f"self.{lock_attr}"
+                    if not owner.startswith("<module>/")
+                    else lock_attr
+                )
+                extra = ""
+                if held:
+                    other = sorted(held)[0]
+                    extra = f" (it holds {other[1]!r} instead)"
+                yield self.finding(
+                    module.relpath,
+                    access.node.lineno,
+                    access.node.col_offset,
+                    f"'{cls.name}.{attr}' is shared across thread "
+                    f"entry points ({described}); this access in "
+                    f"'{access.info.qualname}' must hold "
+                    f"'with {where}:'{extra}",
+                )
+
+    def _check_locked_call_sites(
+        self,
+        cls: ast.ClassDef,
+        module: Module,
+        model: ThreadModel,
+        method_names: "frozenset[str]",
+    ) -> Iterator[Finding]:
+        locked_methods = {
+            name for name in method_names if name.endswith("_locked")
+        }
+        if not locked_methods:
+            return
+        for node in ast.walk(cls):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in locked_methods
+            ):
+                continue
+            info = enclosing_info(model, module.relpath, node)
+            if info is None or info.name in CONSTRUCTOR_NAMES:
+                continue
+            if info.name.endswith("_locked"):
+                continue
+            if held_locks_at(node, module, model, cls.name):
+                continue
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                f"'{cls.name}.{node.func.attr}' asserts its caller "
+                "holds the lock (the '_locked' suffix contract), but "
+                f"this call in '{info.qualname}' is outside any "
+                "'with self.<lock>:' region",
+            )

@@ -1,0 +1,221 @@
+"""RPR007: the project-wide lock acquisition graph must be acyclic.
+
+Two threads acquiring the same pair of locks in opposite orders is the
+classic deadlock. This rule collects every ``with <lock>:`` region,
+adds an edge ``A → B`` whenever ``B`` is acquired while ``A`` is held
+— lexically nested ``with`` statements, or a call made under ``A`` to
+a project function that (transitively) acquires ``B`` — and reports
+every edge participating in a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.locks import (
+    LockId,
+    LockRegion,
+    lock_of_with_item,
+    lock_regions_in,
+    region_body_nodes,
+)
+from repro.analysis.project import AnalysisContext
+from repro.analysis.threads import (
+    ThreadModel,
+    resolver_for,
+    thread_model,
+)
+
+
+class _Edge:
+    __slots__ = ("src", "dst", "relpath", "line", "col", "via")
+
+    def __init__(
+        self,
+        src: LockId,
+        dst: LockId,
+        relpath: str,
+        line: int,
+        col: int,
+        via: "str | None",
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.relpath = relpath
+        self.line = line
+        self.col = col
+        self.via = via
+
+
+def _render_lock(lock: LockId) -> str:
+    owner, attr = lock
+    if owner.startswith("<module>/"):
+        return f"{owner[len('<module>/'):]}:{attr}"
+    return f"{owner}.{attr}"
+
+
+@register_rule
+class LockOrderingRule(Rule):
+    code = "RPR007"
+    name = "lock-ordering"
+    severity = Severity.ERROR
+    summary = "lock acquisition graph must be acyclic (deadlock risk)"
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        model = thread_model(ctx)
+        regions, acquired_by = self._collect_regions(ctx, model)
+        closure = self._transitive_acquired(model, acquired_by)
+        edges = self._edges(ctx, model, regions, closure)
+        yield from self._report_cycles(edges)
+
+    # ------------------------------------------------------------------
+    def _collect_regions(
+        self, ctx: AnalysisContext, model: ThreadModel
+    ) -> "tuple[dict, dict]":
+        """Per-function lock regions and directly-acquired lock sets."""
+        regions: "dict[tuple[str, str], list[LockRegion]]" = {}
+        acquired: "dict[tuple[str, str], set[LockId]]" = {}
+        for info in model.functions.values():
+            module = ctx.get(info.relpath)
+            if module is None:
+                continue
+            found = lock_regions_in(
+                info.node, module, model, info.class_name
+            )
+            regions[info.key] = found
+            acquired[info.key] = {r.lock for r in found}
+        return regions, acquired
+
+    def _transitive_acquired(
+        self,
+        model: ThreadModel,
+        direct: "dict[tuple[str, str], set[LockId]]",
+    ) -> "dict[tuple[str, str], set[LockId]]":
+        closure = {key: set(locks) for key, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in model.calls.items():
+                state = closure.setdefault(caller, set())
+                before = len(state)
+                for callee in callees:
+                    state |= closure.get(callee, set())
+                if len(state) != before:
+                    changed = True
+        return closure
+
+    def _edges(
+        self,
+        ctx: AnalysisContext,
+        model: ThreadModel,
+        regions: "dict[tuple[str, str], list[LockRegion]]",
+        closure: "dict[tuple[str, str], set[LockId]]",
+    ) -> "list[_Edge]":
+        resolver = resolver_for(model)
+        edges: "list[_Edge]" = []
+        for key in sorted(regions):
+            info = model.functions[key]
+            module = ctx.get(info.relpath)
+            if module is None:
+                continue
+            for region in regions[key]:
+                held = region.lock
+                for node in region_body_nodes(region):
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            inner_lock = lock_of_with_item(
+                                item, module, model, info.class_name
+                            )
+                            if (
+                                inner_lock is not None
+                                and inner_lock != held
+                            ):
+                                edges.append(_Edge(
+                                    held, inner_lock, info.relpath,
+                                    node.lineno, node.col_offset, None,
+                                ))
+                    elif isinstance(node, ast.Call):
+                        for callee in resolver.resolve_callable(
+                            node.func, info
+                        ):
+                            for lock in sorted(
+                                closure.get(callee.key, set())
+                            ):
+                                if lock != held:
+                                    edges.append(_Edge(
+                                        held, lock, info.relpath,
+                                        node.lineno, node.col_offset,
+                                        callee.qualname,
+                                    ))
+        return edges
+
+    def _report_cycles(
+        self, edges: "list[_Edge]"
+    ) -> Iterator[Finding]:
+        graph: "dict[LockId, set[LockId]]" = {}
+        for edge in edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+        cyclic = _nodes_on_cycles(graph)
+        reported: "set[tuple]" = set()
+        for edge in sorted(
+            edges, key=lambda e: (e.relpath, e.line, e.col)
+        ):
+            if edge.src not in cyclic or edge.dst not in cyclic:
+                continue
+            if not _reaches(graph, edge.dst, edge.src):
+                continue
+            key = (edge.src, edge.dst, edge.relpath, edge.line)
+            if key in reported:
+                continue
+            reported.add(key)
+            via = f" via call to '{edge.via}'" if edge.via else ""
+            yield self.finding(
+                edge.relpath,
+                edge.line,
+                edge.col,
+                f"lock order cycle: {_render_lock(edge.src)} is held "
+                f"while acquiring {_render_lock(edge.dst)}{via}, and "
+                "another path acquires them in the opposite order — "
+                "deadlock risk; pick one global order",
+            )
+
+
+def _nodes_on_cycles(
+    graph: "dict[LockId, set[LockId]]",
+) -> "set[LockId]":
+    on_cycle: "set[LockId]" = set()
+    for start in graph:
+        if start in on_cycle:
+            continue
+        if _reaches_via_edge(graph, start, start):
+            on_cycle.add(start)
+    return on_cycle
+
+
+def _reaches_via_edge(
+    graph: "dict[LockId, set[LockId]]", src: LockId, dst: LockId
+) -> bool:
+    """Whether ``dst`` is reachable from ``src`` using >= 1 edge."""
+    frontier = list(graph.get(src, ()))
+    seen: "set[LockId]" = set(frontier)
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        for nxt in graph.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _reaches(
+    graph: "dict[LockId, set[LockId]]", src: LockId, dst: LockId
+) -> bool:
+    if src == dst:
+        return True
+    return _reaches_via_edge(graph, src, dst)

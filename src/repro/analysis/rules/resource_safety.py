@@ -29,6 +29,7 @@ leaking (this was live at ``sweep/report.py:466``).
 from __future__ import annotations
 
 import ast
+from typing import Iterable, Iterator
 
 from repro.analysis.astutil import (
     ancestors,
@@ -41,7 +42,8 @@ from repro.analysis.astutil import (
     walk_calls,
 )
 from repro.analysis.base import Rule, register_rule
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext, Module
 
 ACQUIRERS = frozenset({
     "open", "os.fdopen", "socket.socket", "socket.create_connection",
@@ -52,7 +54,7 @@ RELEASE_METHODS = frozenset({
 })
 
 
-def _closes_name(nodes, name: str) -> bool:
+def _closes_name(nodes: "Iterable[ast.AST]", name: str) -> bool:
     """Whether any node in ``nodes`` contains a ``name.close()`` call."""
     for node in nodes:
         for sub in ast.walk(node):
@@ -67,7 +69,7 @@ def _closes_name(nodes, name: str) -> bool:
     return False
 
 
-def _returns_name(stmts, name: str) -> bool:
+def _returns_name(stmts: "Iterable[ast.stmt]", name: str) -> bool:
     for stmt in stmts:
         if (
             isinstance(stmt, ast.Return)
@@ -105,7 +107,7 @@ class ResourceSafetyRule(Rule):
         "try/finally"
     )
 
-    def check(self, ctx):
+    def check(self, ctx: AnalysisContext) -> "Iterator[Finding]":
         for module in ctx.walk():
             aliases = import_aliases(module.tree)
             for call in walk_calls(module.tree):
@@ -116,7 +118,9 @@ class ResourceSafetyRule(Rule):
                 if finding is not None:
                     yield finding
 
-    def _check_call(self, module, call, canonical):
+    def _check_call(
+        self, module: Module, call: ast.Call, canonical: str
+    ) -> "Finding | None":
         stmt = _owning_statement(call)
         if stmt is None:
             return None  # with-item or returned: structurally owned

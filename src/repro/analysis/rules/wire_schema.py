@@ -33,6 +33,7 @@ model does not chase — it is exempted with that reason below.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.analysis.astutil import (
     module_constant,
@@ -41,7 +42,8 @@ from repro.analysis.astutil import (
     written_keys,
 )
 from repro.analysis.base import Rule, register_rule
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import AnalysisContext
 
 
 @dataclass(frozen=True)
@@ -195,7 +197,7 @@ class WireSchemaParityRule(Rule):
         "against the pinned wire version"
     )
 
-    def check(self, ctx):
+    def check(self, ctx: AnalysisContext) -> "Iterator[Finding]":
         for pair in WIRE_PAIRS:
             module = ctx.get(pair.module)
             if module is None:

@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 rendering for ``repro check --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+scanners upload so editors and CI dashboards can overlay findings on
+the source. We emit the minimal conformant document: one run, one
+tool driver listing every selected rule, one result per finding.
+
+Like the JSON format, the document is fully deterministic — findings
+arrive pre-sorted from the engine, rules are listed in selection
+order, and nothing volatile (timestamps, absolute paths, host names)
+is included, so CI can diff the artifact between commits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.base import Rule, get_rule
+from repro.analysis.engine import UNUSED_SUPPRESSION_CODE, AnalysisRun
+from repro.analysis.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-check"
+
+#: SARIF ``level`` values for our severities.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _stale_suppression_descriptor() -> dict:
+    return {
+        "id": UNUSED_SUPPRESSION_CODE,
+        "name": "unused-suppression",
+        "shortDescription": {
+            "text": "a '# repro: ignore[...]' comment matched no finding"
+        },
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(finding: Finding, rule_index: "Dict[str, int]") -> dict:
+    return {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ours are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(run: AnalysisRun) -> dict:
+    """Render an :class:`AnalysisRun` as a SARIF 2.1.0 document."""
+    descriptors: "List[dict]" = [
+        _rule_descriptor(get_rule(code)) for code in run.rule_codes
+    ]
+    rule_index = {code: i for i, code in enumerate(run.rule_codes)}
+    if any(
+        f.code == UNUSED_SUPPRESSION_CODE for f in run.findings
+    ):
+        rule_index[UNUSED_SUPPRESSION_CODE] = len(descriptors)
+        descriptors.append(_stale_suppression_descriptor())
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    # Paths are relative to the checked root; the
+                    # consumer binds SRCROOT to wherever it checked
+                    # the tree out.
+                    "SRCROOT": {"description": {
+                        "text": "root passed to 'repro check'"
+                    }}
+                },
+                "results": [
+                    _result(f, rule_index) for f in run.findings
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def findings_from_sarif(doc: dict) -> "List[Finding]":
+    """Reconstruct findings from a :func:`to_sarif` document.
+
+    The round-trip partner used by the tests (and by tooling that
+    wants to diff SARIF artifacts without a SARIF library): feeding
+    ``to_sarif(run)`` back through here yields ``run.findings``.
+    """
+    findings: "List[Finding]" = []
+    for sarif_run in doc.get("runs", []):
+        for result in sarif_run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location["region"]
+            findings.append(
+                Finding(
+                    code=result["ruleId"],
+                    severity=Severity(result["level"]),
+                    path=location["artifactLocation"]["uri"],
+                    line=region["startLine"],
+                    col=region["startColumn"] - 1,
+                    message=result["message"]["text"],
+                )
+            )
+    return findings

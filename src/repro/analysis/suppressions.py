@@ -22,6 +22,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from typing import Iterable, Iterator
 from dataclasses import dataclass, field
 
 _SUPPRESS_RE = re.compile(
@@ -70,7 +71,7 @@ class SuppressionIndex:
         )
 
 
-def _comment_tokens(source: str):
+def _comment_tokens(source: str) -> "Iterator[tuple[int, str]]":
     """``(lineno, text)`` of every comment token; tolerant of tail damage.
 
     The project loader has already proven the file parses, so tokenize
@@ -86,7 +87,7 @@ def _comment_tokens(source: str):
         return
 
 
-def scan_suppressions(modules) -> SuppressionIndex:
+def scan_suppressions(modules: "Iterable") -> SuppressionIndex:
     """Collect every suppression comment across ``modules``.
 
     Codes are normalized to upper case; a comment listing several codes

@@ -671,6 +671,23 @@ def _cmd_check(args) -> int:
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
         )
+        if args.write_baseline:
+            from repro.analysis.baseline import write_baseline
+
+            n = write_baseline(run.findings, args.write_baseline)
+            print(f"wrote {n} finding(s) to {args.write_baseline}")
+            return 0
+        baselined: "list" = []
+        if args.baseline:
+            from repro.analysis.baseline import (
+                load_baseline,
+                partition_findings,
+            )
+
+            new, baselined = partition_findings(
+                run.findings, load_baseline(args.baseline)
+            )
+            run.findings = new
     except (DataError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -678,8 +695,14 @@ def _cmd_check(args) -> int:
         # Stable for CI artifact diffing: sorted findings (engine),
         # sorted keys, relative paths, nothing volatile.
         print(json.dumps(run.to_record(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        print(json.dumps(to_sarif(run), indent=2, sort_keys=True))
     else:
         print(render_text(run, strict=args.strict))
+        if baselined:
+            print(f"({len(baselined)} baselined finding(s) tolerated)")
     return 1 if run.failed(strict=args.strict) else 0
 
 
@@ -938,16 +961,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--strict", action="store_true",
                          help="fail (exit 1) on warnings too, not just "
                               "errors — the CI mode")
-    p_check.add_argument("--format", choices=("text", "json"),
+    p_check.add_argument("--format", choices=("text", "json", "sarif"),
                          default="text",
                          help="text: one line per finding; json: stable "
                               "machine-readable document (sorted, "
-                              "relative paths, diffable in CI)")
+                              "relative paths, diffable in CI); sarif: "
+                              "SARIF 2.1.0 for code-scanning dashboards")
     p_check.add_argument("--select", default="", metavar="CODES",
                          help="comma-separated rule codes to run "
                               "(default: all registered rules)")
     p_check.add_argument("--ignore", default="", metavar="CODES",
                          help="comma-separated rule codes to skip")
+    p_check.add_argument("--baseline", default="", metavar="FILE",
+                         help="tolerate findings recorded in FILE (made "
+                              "with --write-baseline); only new findings "
+                              "fail the check")
+    p_check.add_argument("--write-baseline", default="", metavar="FILE",
+                         help="snapshot the current findings to FILE and "
+                              "exit 0; pair with --baseline to ratchet "
+                              "down existing debt")
     p_check.add_argument("--list-rules", action="store_true",
                          help="print the rule catalog and exit")
     p_check.set_defaults(func=_cmd_check)

@@ -353,7 +353,9 @@ class RegistryServer(FrameServer):
         self._clock = time.monotonic
 
     # ------------------------------------------------------------------
-    def _prune(self, now: float) -> None:
+    def _prune_locked(self, now: float) -> None:
+        """Drop aged-out workers. Caller must hold ``self._lock`` —
+        the ``_locked`` suffix is the contract RPR006 enforces."""
         cutoff = now - self.ttl
         for key in [
             k for k, (_, stamp) in self._workers.items() if stamp < cutoff
@@ -370,13 +372,13 @@ class RegistryServer(FrameServer):
         stamped = replace(record, last_seen=wall_clock())
         now = self._clock()
         with self._lock:
-            self._prune(now)
+            self._prune_locked(now)
             self._workers[record.key] = (stamped, now)
         return stamped
 
     def live_workers(self) -> list:
         with self._lock:
-            self._prune(self._clock())
+            self._prune_locked(self._clock())
             return [record for record, _ in self._workers.values()]
 
     @property
@@ -496,9 +498,20 @@ class Heartbeat:
             record_source if callable(record_source) else lambda: record_source
         )
         self.interval = interval
-        self.last_error: "str | None" = None
+        #: ``_last_error`` is written by :meth:`beat` — which runs on
+        #: both the caller's thread and the heartbeat thread — so every
+        #: access goes through ``_lock`` (RPR006 lock discipline).
+        self._lock = threading.Lock()
+        self._last_error: "str | None" = None
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
+
+    @property
+    def last_error(self) -> "str | None":
+        """The latest swallowed beat failure (``None`` after a healthy
+        beat). Readable from any thread."""
+        with self._lock:
+            return self._last_error
 
     # ------------------------------------------------------------------
     def beat(self) -> bool:
@@ -507,9 +520,11 @@ class Heartbeat:
             self.registry.register(self._record_source())
         except Exception as exc:  # noqa: BLE001 — transient registry
             # outages must not kill the worker's heartbeat loop.
-            self.last_error = f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                self._last_error = f"{type(exc).__name__}: {exc}"
             return False
-        self.last_error = None
+        with self._lock:
+            self._last_error = None
         return True
 
     def start(self) -> threading.Thread:

@@ -735,7 +735,7 @@ class _WorkQueue:
             self._weights.pop(worker_id, None)
             self._cond.notify_all()
 
-    def _chunk_for(self, worker_id) -> int:
+    def _chunk_for_locked(self, worker_id) -> int:
         if self._chunk_size is not None:
             return self._chunk_size
         weight = self._weights.get(worker_id, 1)
@@ -749,7 +749,7 @@ class _WorkQueue:
         with self._cond:
             while True:
                 if self._pending:
-                    take = self._chunk_for(worker_id)
+                    take = self._chunk_for_locked(worker_id)
                     chunk = self._pending[:take]
                     del self._pending[:take]
                     self._active += 1

@@ -1,0 +1,46 @@
+"""Dataflow test fixtures with hand-checked solutions.
+
+The tests parse this file and assert the exact reaching-definition
+and taint answers per function — line numbers here are load-bearing.
+"""
+
+
+def diamond(flag):
+    x = 1
+    if flag:
+        x = 2
+    else:
+        y = 3
+    return x
+
+
+def loop_redef(n):
+    total = 0
+    for i in range(n):
+        total = total + i
+    return total
+
+
+def try_handler(path):
+    data = load(path)
+    try:
+        data = parse(data)
+    except ValueError:
+        data = None
+    return data
+
+
+def tainted_flow(frame, sink):
+    name = frame["name"]
+    safe = int(frame["count"])
+    sink(name)
+    sink(safe)
+    return name
+
+
+def sanitizer_cut(conn, sink):
+    raw = recv_frame(conn)
+    checked = scenario_from_spec(raw)
+    sink(checked)
+    sink(raw)
+    return checked

@@ -1,0 +1,32 @@
+"""RPR006 clean twin: every ``_count`` access is under ``_lock``.
+
+Also exercises the ``_locked`` suffix contract: ``_bump_locked`` is
+exempt itself, and its call site holds the lock.
+"""
+
+import threading
+
+
+class EventCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        self.bump()
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self._count = self._count + 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._count

@@ -1,0 +1,24 @@
+"""Seeded RPR006 violation: a counter written from two threads, no lock."""
+
+import threading
+
+
+class EventCounter:
+    """``bump`` runs on the owner's thread *and* the worker thread."""
+
+    def __init__(self):
+        self._count = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        self.bump()
+
+    def bump(self):
+        self._count = self._count + 1
+
+    def snapshot(self):
+        return self._count

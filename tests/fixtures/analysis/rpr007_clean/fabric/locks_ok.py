@@ -1,0 +1,22 @@
+"""RPR007 clean twin: both paths honor the global order a-before-b."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            return self._grab_b()
+
+    def _grab_b(self):
+        with self._b:
+            return 1
+
+    def backward(self):
+        with self._a:
+            with self._b:
+                return 2

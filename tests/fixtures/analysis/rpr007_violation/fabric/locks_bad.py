@@ -1,0 +1,26 @@
+"""Seeded RPR007 violation: two lock-acquisition orders, one deadlock.
+
+``forward`` takes ``_a`` then (via ``_grab_b``) ``_b``;
+``backward`` takes ``_b`` then ``_a``.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            return self._grab_b()
+
+    def _grab_b(self):
+        with self._b:
+            return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2

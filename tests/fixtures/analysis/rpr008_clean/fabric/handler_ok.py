@@ -1,0 +1,20 @@
+"""RPR008 clean twin: wire input passes a validator before any sink."""
+
+import os
+
+
+class FrameServer:
+    pass
+
+
+class OpHandler(FrameServer):
+    def handle_op(self, conn, frame):
+        run_id = int(frame.get("run_id", 0))
+        with open(os.path.join("runs", str(run_id))) as fh:
+            return fh.read()
+
+
+def relay(conn, sink):
+    frame = recv_frame(conn)
+    shard = scenario_from_spec(frame["shard"])
+    return execute_shard(shard)

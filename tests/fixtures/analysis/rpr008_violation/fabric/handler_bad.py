@@ -1,0 +1,24 @@
+"""Seeded RPR008 violation: a handler frame reaches the filesystem raw.
+
+``FrameServer`` here is a stand-in for the fabric's frame server — the
+*name* is what marks subclass handlers' ``frame`` parameters as wire
+input.
+"""
+
+import os
+
+
+class FrameServer:
+    pass
+
+
+class OpHandler(FrameServer):
+    def handle_op(self, conn, frame):
+        name = frame.get("name")
+        with open(os.path.join("runs", name)) as fh:
+            return fh.read()
+
+
+def relay(conn, sink):
+    frame = recv_frame(conn)
+    return execute_shard(frame["shard"])

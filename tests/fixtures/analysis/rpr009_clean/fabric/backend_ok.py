@@ -1,0 +1,22 @@
+"""RPR009 clean twin: worker events funnel through a queue that the
+caller's thread drains, so ``on_outcome`` fires on the parent."""
+
+import queue
+import threading
+
+
+class ThreadedBackend:
+    def run(self, scenarios, on_outcome=None):
+        events = queue.Queue()
+
+        def worker(chunk):
+            for index, outcome in chunk:
+                events.put((index, outcome))
+
+        thread = threading.Thread(target=worker, args=(scenarios,))
+        thread.start()
+        for _ in scenarios:
+            index, outcome = events.get()
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+        thread.join()

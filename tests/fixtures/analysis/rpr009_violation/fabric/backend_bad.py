@@ -1,0 +1,14 @@
+"""Seeded RPR009 violation: ``on_outcome`` fired from a pool thread."""
+
+import threading
+
+
+class ThreadedBackend:
+    def run(self, scenarios, on_outcome=None):
+        def worker(chunk):
+            for index, outcome in chunk:
+                on_outcome(index, outcome)
+
+        thread = threading.Thread(target=worker, args=(scenarios,))
+        thread.start()
+        thread.join()

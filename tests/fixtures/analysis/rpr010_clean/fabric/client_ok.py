@@ -1,0 +1,26 @@
+"""RPR010 clean twin: socket I/O happens outside the condition; the
+lock region only publishes the already-received payload. The
+``Condition.wait`` on the *held* condition is the sanctioned blocking
+call and must not be flagged."""
+
+import threading
+
+
+class Client:
+    def __init__(self, sock):
+        self._cond = threading.Condition()
+        self._sock = sock
+        self._inbox = []
+
+    def pump_once(self):
+        data = self._sock.recv(4096)
+        with self._cond:
+            self._inbox.append(data)
+            self._cond.notify_all()
+        return data
+
+    def wait_for_payload(self):
+        with self._cond:
+            while not self._inbox:
+                self._cond.wait()
+            return self._inbox.pop()

@@ -1,0 +1,23 @@
+"""Seeded RPR010 violation: socket reads while holding the lock —
+directly in ``fetch``, and through a helper in ``refresh``."""
+
+import threading
+
+
+class Client:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self._sock = sock
+        self._last = None
+
+    def fetch(self):
+        with self._lock:
+            self._last = self._sock.recv(4096)
+            return self._last
+
+    def refresh(self):
+        with self._lock:
+            return self._pull()
+
+    def _pull(self):
+        return self._sock.recv(4096)

@@ -347,3 +347,386 @@ class TestRepoIsClean:
         ctx = load_project(root)
         index = scan_suppressions(ctx.walk())
         assert index.by_location == {}
+
+
+class TestCFG:
+    def _func(self, name: str):
+        from repro.analysis.astutil import attach_parents
+
+        path = os.path.join(FIXTURES, "dataflow", "flows.py")
+        with open(path, "r", encoding="utf-8") as fh:
+            tree = ast.parse(fh.read())
+        attach_parents(tree)
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        raise AssertionError(f"no fixture function {name!r}")
+
+    def test_diamond_shape(self):
+        from repro.analysis.cfg import build_cfg
+
+        cfg = build_cfg(self._func("diamond"))
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        # Every block reachable from entry appears exactly once.
+        assert len(order) == len(set(order))
+        assert set(order) <= {b.index for b in cfg.blocks}
+        # Entry reaches exit; the return feeds the exit block.
+        exit_preds = cfg.block(cfg.exit).preds
+        assert exit_preds
+
+    def test_loop_has_back_edge(self):
+        from repro.analysis.cfg import build_cfg
+
+        cfg = build_cfg(self._func("loop_redef"))
+        seen_back_edge = False
+        order = cfg.reverse_postorder()
+        position = {b: i for i, b in enumerate(order)}
+        for block in cfg.blocks:
+            if block.index not in position:
+                continue  # unreachable
+            for succ in block.succs:
+                if position[succ] <= position[block.index]:
+                    seen_back_edge = True
+        assert seen_back_edge
+
+    def test_try_body_edges_to_handler(self):
+        from repro.analysis.cfg import build_cfg
+
+        cfg = build_cfg(self._func("try_handler"))
+        handler_blocks = {
+            b.index
+            for b in cfg.blocks
+            for elem in b.elements
+            if getattr(elem, "lineno", 0) == 29  # data = None
+        }
+        assert handler_blocks
+        feeders = {
+            b.index
+            for b in cfg.blocks
+            if any(s in handler_blocks for s in b.succs)
+        }
+        assert feeders  # the try body can reach the handler
+
+
+class TestReachingDefinitions:
+    def _solve(self, name: str):
+        from repro.analysis.dataflow import reaching_definitions
+
+        return reaching_definitions(TestCFG()._func(name))
+
+    def test_diamond(self):
+        # x=1 (line 9) survives the else path; x=2 (line 11) the then
+        # path; y only defined on the else path; params defined at the
+        # def line.
+        defs = self._solve("diamond")
+        assert defs["x"] == {9, 11}
+        assert defs["y"] == {13}
+        assert defs["flag"] == {8}
+
+    def test_loop(self):
+        # total=0 (18) reaches exit via the zero-iteration path;
+        # total=total+i (20) via any iteration.
+        defs = self._solve("loop_redef")
+        assert defs["total"] == {18, 20}
+        assert defs["i"] == {19}
+
+    def test_try_handler(self):
+        # The pre-try assignment (25) is always killed: by line 27 on
+        # the fall-through path, by line 29 on the exception path.
+        defs = self._solve("try_handler")
+        assert defs["data"] == {27, 29}
+
+
+class TestTaintEngine:
+    def _hits(self, name: str, entry=()):
+        from repro.analysis.astutil import attach_parents, import_aliases
+        from repro.analysis.astutil import resolve_call
+        from repro.analysis.dataflow import TaintSpec, taint_findings
+
+        path = os.path.join(FIXTURES, "dataflow", "flows.py")
+        with open(path, "r", encoding="utf-8") as fh:
+            tree = ast.parse(fh.read())
+        attach_parents(tree)
+        aliases = import_aliases(tree)
+        func = next(
+            n for n in tree.body
+            if isinstance(n, ast.FunctionDef) and n.name == name
+        )
+        spec = TaintSpec(
+            source_calls=frozenset({"recv_frame"}),
+            source_params=frozenset({"frame"}),
+            sanitizers=frozenset({"int", "scenario_from_spec"}),
+            sink_locals=frozenset({"sink"}),
+        )
+        return taint_findings(
+            func, spec, lambda c: resolve_call(c, aliases),
+            entry_tainted=frozenset(entry),
+        )
+
+    def test_source_param_flows_to_sink(self):
+        hits = self._hits("tainted_flow", entry=("frame",))
+        assert [(h.line, h.sink, h.tainted_names) for h in hits] == [
+            (36, "sink", ("name",))  # sink(safe) at 37 is sanitized
+        ]
+
+    def test_sanitizer_cuts_source_call(self):
+        hits = self._hits("sanitizer_cut")
+        assert [(h.line, h.sink, h.tainted_names) for h in hits] == [
+            (45, "sink", ("raw",))  # sink(checked) at 44 is clean
+        ]
+
+
+class TestRPR006LockDiscipline:
+    def test_unlocked_cross_thread_writes_pinned(self):
+        run = check("rpr006_violation", select=["RPR006"])
+        assert locations(run) == [
+            ("RPR006", "fabric/counter_bad.py", 21),
+            ("RPR006", "fabric/counter_bad.py", 21),
+            ("RPR006", "fabric/counter_bad.py", 24),
+        ]
+        for f in run.findings:
+            assert "EventCounter._count" in f.message
+            assert "no access holds a lock" in f.message
+            assert f.severity is Severity.ERROR
+
+    def test_locked_twin_is_clean(self):
+        assert check("rpr006_clean").findings == []
+
+
+class TestRPR007LockOrdering:
+    def test_cycle_pinned(self):
+        run = check("rpr007_violation", select=["RPR007"])
+        assert locations(run) == [
+            ("RPR007", "fabric/locks_bad.py", 17),
+            ("RPR007", "fabric/locks_bad.py", 25),
+        ]
+        call_edge, nested_edge = run.findings
+        assert "via call to 'Pair._grab_b'" in call_edge.message
+        assert "Pair._b is held while acquiring Pair._a" in (
+            nested_edge.message
+        )
+        assert "deadlock risk" in nested_edge.message
+
+    def test_global_order_is_clean(self):
+        assert check("rpr007_clean").findings == []
+
+
+class TestRPR008WireTaint:
+    def test_tainted_paths_pinned(self):
+        run = check("rpr008_violation", select=["RPR008"])
+        assert locations(run) == [
+            ("RPR008", "fabric/handler_bad.py", 18),
+            ("RPR008", "fabric/handler_bad.py", 18),
+            ("RPR008", "fabric/handler_bad.py", 24),
+        ]
+        sinks = {f.message.split("sink '")[1].split("'")[0]
+                 for f in run.findings}
+        assert sinks == {"open", "os.path.join", "execute_shard"}
+        assert "wire-tainted data (name)" in run.findings[0].message
+        assert "wire-tainted data (frame)" in run.findings[2].message
+
+    def test_validated_twin_is_clean(self):
+        assert check("rpr008_clean").findings == []
+
+
+class TestRPR009CallbackThread:
+    def test_pool_thread_callback_pinned(self):
+        run = check("rpr009_violation", select=["RPR009"])
+        assert locations(run) == [
+            ("RPR009", "fabric/backend_bad.py", 10),
+        ]
+        message = run.findings[0].message
+        assert "'on_outcome' is invoked from" in message
+        assert "worker" in message
+        assert "queue" in message
+
+    def test_queue_drain_twin_is_clean(self):
+        assert check("rpr009_clean").findings == []
+
+
+class TestRPR010BlockingLocks:
+    def test_blocking_under_lock_pinned(self):
+        run = check("rpr010_violation", select=["RPR010"])
+        assert locations(run) == [
+            ("RPR010", "fabric/client_bad.py", 15),
+            ("RPR010", "fabric/client_bad.py", 20),
+        ]
+        direct, transitive = run.findings
+        assert "'.recv()' blocks" in direct.message
+        assert "calls 'Client._pull'" in transitive.message
+        assert direct.severity is Severity.WARNING
+
+    def test_warnings_fail_only_under_strict(self):
+        run = check("rpr010_violation", select=["RPR010"])
+        assert not run.failed(strict=False)
+        assert run.failed(strict=True)
+
+    def test_condition_wait_twin_is_clean(self):
+        assert check("rpr010_clean").findings == []
+
+
+class TestLockFixesAreLoadBearing:
+    """Deleting a landed lock fix must flip ``repro check`` to failing.
+
+    This is the acceptance gate for the concurrency fixes: the guards
+    in ``sweep/registry.py`` are exactly what RPR006 demands, so
+    removing one re-introduces the finding.
+    """
+
+    GUARDED_WRITES = (
+        (
+            "            with self._lock:\n"
+            "                self._last_error = "
+            'f"{type(exc).__name__}: {exc}"\n',
+            "            self._last_error = "
+            'f"{type(exc).__name__}: {exc}"\n',
+        ),
+        (
+            "        with self._lock:\n"
+            "            self._last_error = None\n",
+            "        self._last_error = None\n",
+        ),
+    )
+
+    def _registry_source(self) -> str:
+        import repro.sweep.registry as mod
+
+        with open(mod.__file__, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_shipped_guards_present(self, tmp_path):
+        source = self._registry_source()
+        for guarded, _ in self.GUARDED_WRITES:
+            assert guarded in source
+        (tmp_path / "registry.py").write_text(source)
+        run = run_check(str(tmp_path), select=["RPR006"])
+        assert run.findings == []
+
+    def test_removing_guards_flips_check(self, tmp_path):
+        source = self._registry_source()
+        for guarded, bare in self.GUARDED_WRITES:
+            source = source.replace(guarded, bare)
+        (tmp_path / "registry.py").write_text(source)
+        run = run_check(str(tmp_path), select=["RPR006"])
+        assert run.findings, "unguarded _last_error must be a finding"
+        assert {f.code for f in run.findings} == {"RPR006"}
+        assert all("_last_error" in f.message for f in run.findings)
+        assert run.failed(strict=False)
+
+
+class TestSarif:
+    def test_document_shape_and_levels(self):
+        from repro.analysis.sarif import to_sarif
+
+        run = check("rpr010_violation", select=["RPR010"])
+        doc = to_sarif(run)
+        assert doc["version"] == "2.1.0"
+        (sarif_run,) = doc["runs"]
+        rules = sarif_run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["RPR010"]
+        assert rules[0]["defaultConfiguration"]["level"] == "warning"
+        results = sarif_run["results"]
+        assert len(results) == len(run.findings)
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert region["startColumn"] == run.findings[0].col + 1
+
+    def test_round_trip(self):
+        from repro.analysis.sarif import findings_from_sarif, to_sarif
+
+        run = check("rpr008_violation", select=["RPR008"])
+        assert findings_from_sarif(to_sarif(run)) == run.findings
+
+    def test_deterministic(self):
+        from repro.analysis.sarif import to_sarif
+
+        first = to_sarif(check("rpr006_violation"))
+        second = to_sarif(check("rpr006_violation"))
+        assert first == second
+
+    def test_stale_suppression_rule_appended(self):
+        from repro.analysis.sarif import to_sarif
+
+        run = check("stale_suppression")
+        assert any(f.code == "RPR900" for f in run.findings)
+        doc = to_sarif(run)
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[-1]["id"] == "RPR900"
+        by_id = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert "RPR900" in by_id
+
+
+class TestBaseline:
+    def test_write_then_tolerate(self, tmp_path):
+        from repro.analysis.baseline import (
+            load_baseline,
+            partition_findings,
+            write_baseline,
+        )
+
+        run = check("rpr007_violation", select=["RPR007"])
+        path = str(tmp_path / "baseline.json")
+        assert write_baseline(run.findings, path) == 2
+        new, old = partition_findings(
+            run.findings, load_baseline(path)
+        )
+        assert new == []
+        assert old == run.findings
+
+    def test_new_finding_still_fails(self, tmp_path):
+        from repro.analysis.baseline import (
+            load_baseline,
+            partition_findings,
+            write_baseline,
+        )
+
+        run = check("rpr007_violation", select=["RPR007"])
+        path = str(tmp_path / "baseline.json")
+        write_baseline(run.findings[:1], path)
+        new, old = partition_findings(
+            run.findings, load_baseline(path)
+        )
+        assert old == run.findings[:1]
+        assert new == run.findings[1:]
+
+    def test_counted_duplicates(self, tmp_path):
+        from repro.analysis.baseline import (
+            load_baseline,
+            partition_findings,
+            write_baseline,
+        )
+
+        run = check("rpr006_violation", select=["RPR006"])
+        # Lines 21/21/24 share one (code, path, message) key — the
+        # baseline stores count=3 and absorbs exactly three.
+        path = str(tmp_path / "baseline.json")
+        assert write_baseline(run.findings, path) == 3
+        baseline = load_baseline(path)
+        assert sum(baseline.values()) == 3
+        doubled = run.findings + run.findings[:1]
+        new, old = partition_findings(doubled, baseline)
+        assert len(old) == 3 and len(new) == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from repro.analysis.baseline import load_baseline
+
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_baseline(str(path))
+        path.write_text('{"version": 99}')
+        with pytest.raises(DataError, match="version"):
+            load_baseline(str(path))
+
+    def test_cli_baseline_flow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = fixture("rpr007_violation")
+        path = str(tmp_path / "baseline.json")
+        assert main(["check", root, "--write-baseline", path]) == 0
+        capsys.readouterr()
+        assert main(["check", root, "--strict", "--baseline", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 baselined finding(s) tolerated" in out
+        assert main(["check", root, "--strict"]) == 1

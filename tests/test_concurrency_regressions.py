@@ -1,0 +1,208 @@
+"""Threaded regression tests for the PR-9 concurrency fixes.
+
+These pin the cross-thread behavior that ``repro check`` (RPR006)
+now enforces statically: ``Heartbeat.last_error`` is readable from any
+thread while the beat loop writes it, ``_WorkQueue`` survives a
+worker death without losing or duplicating scenarios, and
+``RegistryServer``'s roster stays consistent under concurrent
+register/deregister traffic.
+
+All synchronization is barrier-driven — no ``time.sleep`` voodoo:
+every assertion runs at a rendezvous point that happens-after the
+write it observes.
+"""
+
+import threading
+
+import pytest
+
+from repro.sweep.registry import Heartbeat, RegistryServer, WorkerRecord
+from repro.sweep.remote import _WorkQueue
+
+BARRIER_TIMEOUT = 10.0
+
+
+class _GatedRegistry:
+    """A registry whose ``register`` rendezvouses with the test.
+
+    The first call (``Heartbeat.start``'s synchronous registration)
+    passes straight through. Every later call — a beat on the
+    heartbeat thread — parks at ``gate_in`` so the test can assert on
+    ``last_error`` *knowing the previous beat fully completed*, then
+    proceeds past ``gate_out`` and succeeds or raises per ``fail``.
+    """
+
+    def __init__(self):
+        self.gate_in = threading.Barrier(2, timeout=BARRIER_TIMEOUT)
+        self.gate_out = threading.Barrier(2, timeout=BARRIER_TIMEOUT)
+        self.fail = False
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def register(self, record):
+        with self._lock:
+            self._calls += 1
+            first = self._calls == 1
+        if first:
+            return
+        self.gate_in.wait()
+        # The test writes ``fail`` while this beat is parked above;
+        # reading it after gate_out makes that write happen-before.
+        self.gate_out.wait()
+        if self.fail:
+            raise OSError("scripted registry outage")
+
+    def deregister(self, key):
+        pass
+
+
+class TestHeartbeatLastErrorCrossThread:
+    def test_error_transitions_observed_from_main_thread(self):
+        registry = _GatedRegistry()
+        heartbeat = Heartbeat(
+            registry, WorkerRecord(host="h", port=1), interval=0.001
+        )
+        heartbeat.start()
+        try:
+            # Beat 1 parked at gate_in: nothing failed yet.
+            registry.fail = True
+            registry.gate_in.wait()
+            assert heartbeat.last_error is None
+            registry.gate_out.wait()  # beat 1 runs and raises
+
+            # Beat 2 parked: beat 1 completed, its error is visible
+            # here on the main thread.
+            registry.gate_in.wait()
+            assert "OSError" in heartbeat.last_error
+            assert "scripted registry outage" in heartbeat.last_error
+            registry.fail = False
+            registry.gate_out.wait()  # beat 2 succeeds, clears it
+
+            # Beat 3 parked: the healthy beat reset last_error.
+            registry.gate_in.wait()
+            assert heartbeat.last_error is None
+            heartbeat._stop.set()  # let beat 3 be the last one
+            registry.gate_out.wait()
+        finally:
+            heartbeat.stop(deregister=False)
+        assert heartbeat.last_error is None
+
+
+class TestWorkQueueRequeueUnderContention:
+    def test_dead_workers_chunk_is_redone_exactly_once(self):
+        items = list(range(60))
+        queue = _WorkQueue(list(items), chunk_size=None, initial_active=0)
+        for worker_id, weight in (("a", 1), ("b", 2), ("c", 4)):
+            queue.add_worker(worker_id, weight)
+
+        start = threading.Barrier(4, timeout=BARRIER_TIMEOUT)
+        done: "list[int]" = []
+        done_lock = threading.Lock()
+
+        def survivor(worker_id):
+            start.wait()
+            while True:
+                chunk = queue.get(worker_id)
+                if chunk is None:
+                    return
+                with done_lock:
+                    done.extend(chunk)
+                queue.task_done()
+
+        def casualty(worker_id):
+            # Pull one chunk, "die", and hand it back: the survivors
+            # must absorb it — nothing lost, nothing run twice.
+            start.wait()
+            chunk = queue.get(worker_id)
+            if chunk is None:
+                return
+            queue.retire(worker_id)
+            queue.task_done(requeue=chunk)
+
+        threads = [
+            threading.Thread(target=survivor, args=("a",), daemon=True),
+            threading.Thread(target=survivor, args=("b",), daemon=True),
+            threading.Thread(target=casualty, args=("c",), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads:
+            thread.join(timeout=BARRIER_TIMEOUT)
+            assert not thread.is_alive(), "queue deadlocked"
+        assert sorted(done) == items
+        assert queue.drain() == []
+
+    def test_get_returns_none_for_every_late_puller(self):
+        queue = _WorkQueue([1, 2, 3], chunk_size=3, initial_active=0)
+        queue.add_worker("a", 1)
+        assert queue.get("a") == [1, 2, 3]
+        queue.task_done()
+
+        start = threading.Barrier(3, timeout=BARRIER_TIMEOUT)
+        results = []
+        results_lock = threading.Lock()
+
+        def puller(worker_id):
+            start.wait()
+            value = queue.get(worker_id)
+            with results_lock:
+                results.append(value)
+
+        threads = [
+            threading.Thread(target=puller, args=(w,), daemon=True)
+            for w in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads:
+            thread.join(timeout=BARRIER_TIMEOUT)
+            assert not thread.is_alive(), "empty-queue get never returned"
+        assert results == [None, None]
+
+
+class TestRegistryServerConcurrentRoster:
+    @pytest.fixture()
+    def server(self):
+        server = RegistryServer(port=0, ttl=60.0)
+        yield server
+        server.shutdown()
+
+    def test_parallel_register_then_deregister(self, server):
+        n_threads, per_thread = 8, 10
+        start = threading.Barrier(n_threads, timeout=BARRIER_TIMEOUT)
+
+        def storm(thread_index):
+            start.wait()
+            for i in range(per_thread):
+                record = WorkerRecord(
+                    host=f"t{thread_index}", port=1000 + i
+                )
+                server.register_record(record)
+                server.live_workers()  # reads interleave with writes
+            if thread_index % 2 == 0:
+                for i in range(per_thread):
+                    key = WorkerRecord(
+                        host=f"t{thread_index}", port=1000 + i
+                    ).key
+                    with server._lock:
+                        server._workers.pop(key, None)
+
+        threads = [
+            threading.Thread(target=storm, args=(t,), daemon=True)
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=BARRIER_TIMEOUT)
+            assert not thread.is_alive()
+
+        survivors = {record.key for record in server.live_workers()}
+        expected = {
+            WorkerRecord(host=f"t{t}", port=1000 + i).key
+            for t in range(1, n_threads, 2)
+            for i in range(per_thread)
+        }
+        assert survivors == expected
