@@ -10,6 +10,7 @@ versioned snapshot file per area at the repo root::
     BENCH_sweep.json     grid execution, cold and warm cache
     BENCH_cache.json     artifact keying / store / hit latency
     BENCH_spectral.json  Lanczos + Hutchinson microbenches
+    BENCH_serve.json     plan-server request latency, cold vs pool-warm
 
 Each probe is a plain function returning a flat ``{metric: value}``
 dict; it times exactly the region it measures with
@@ -55,7 +56,7 @@ from repro.utils.timing import Timer
 BENCH_SCHEMA_VERSION = 1
 """Snapshot document schema (bump on incompatible layout changes)."""
 
-AREAS = ("plan", "sweep", "cache", "spectral")
+AREAS = ("plan", "sweep", "cache", "spectral", "serve")
 """Every suite area, in ``repro bench run`` default order."""
 
 SNAPSHOT_PREFIX = "BENCH_"
@@ -246,6 +247,65 @@ def _probe_spectral_hutchinson(dataset_profile: str) -> dict:
     }
 
 
+def _probe_serve_latency(dataset_profile: str) -> dict:
+    """Request latency against a live plan server, cold vs pool-warm.
+
+    Spins up a real :class:`~repro.serve.server.PlanServer` (ephemeral
+    port, no disk tier) and issues the same scenario four times over one
+    authenticated frame connection. The first request computes the
+    artifact (``cold_request_s``); the rest hit the in-memory pool
+    (``warm_request_s`` — the serving layer's whole point is the gap
+    between the two). The pinned non-timing metrics hold the pool
+    honest: hit rate 0.75 and one entry, exactly, every run.
+    """
+    from dataclasses import asdict
+
+    from repro.serve.server import PlanServer
+    from repro.sweep.remote import (
+        PROTOCOL_VERSION,
+        connect_authenticated,
+        recv_frame,
+        send_frame,
+    )
+    from repro.sweep.scenario import Scenario, scenario_spec
+
+    config = _probe_config(dataset_profile)
+    scenario = Scenario(
+        name="bench-serve", city=_CITY, profile=dataset_profile,
+        method="eta-pre", seed=config.seed,
+    )
+    request = {
+        "op": "plan",
+        "protocol": PROTOCOL_VERSION,
+        "scenario": scenario_spec(scenario),
+        "base_config": asdict(config),
+    }
+    server = PlanServer(port=0)
+    server.start_in_thread()
+    timings: list[float] = []
+    try:
+        with connect_authenticated(server.address, None, 30.0) as sock:
+            sock.settimeout(None)  # planning outlasts the connect timeout
+            for _ in range(4):
+                with Timer() as request_t:
+                    send_frame(sock, request)
+                    reply = recv_frame(sock)
+                if reply is None or reply.get("op") != "plan_result":
+                    raise DataError(f"serve probe got {reply!r} to a plan")
+                timings.append(request_t.elapsed)
+        stats = server.stats()
+    finally:
+        server.shutdown()
+    pool = stats["pool"]
+    return {
+        "cold_request_s": timings[0],
+        "warm_request_s": min(timings[1:]),
+        "pool_hit_rate": pool["hit_rate"],
+        "pool_entries": float(pool["entries"]),
+        "n_requests": float(stats["latency"]["count"]),
+    }
+
+
 _SHARED_PRE: dict = {}
 
 
@@ -274,6 +334,9 @@ SUITES = {
     "spectral": (
         ("spectral.lanczos_block", _probe_spectral_lanczos),
         ("spectral.hutchinson", _probe_spectral_hutchinson),
+    ),
+    "serve": (
+        ("serve.request_latency", _probe_serve_latency),
     ),
 }
 """Area -> pinned ``(probe name, probe fn)`` tuples."""

@@ -98,6 +98,12 @@ DEFAULT_REGISTRY_PORT = 7500
 :data:`repro.sweep.registry.DEFAULT_REGISTRY_PORT`; kept literal so
 parser construction does not import the sweep package)."""
 
+DEFAULT_SERVE_PORT = 7600
+"""Default frame-protocol TCP port for ``repro serve``."""
+
+DEFAULT_SERVE_HTTP_PORT = 7601
+"""Default HTTP front-door TCP port for ``repro serve``."""
+
 
 def _load_secret_arg(path: "str | None") -> "bytes | None":
     """``--secret-file`` contents as bytes, or ``None`` when unset."""
@@ -554,6 +560,58 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.serve import build_http_server, serve_plans
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    http_server = None
+    try:
+        secret = _load_secret_arg(args.secret_file)
+        server = serve_plans(
+            host=args.host, port=args.port, secret=secret,
+            cache_dir=cache_dir, pool_bytes=args.pool_bytes,
+            idle_timeout=args.idle_timeout or None,
+            cache_max_bytes=args.cache_max_bytes,
+        )
+        try:
+            http_server = build_http_server(server, args.host, args.http_port)
+        except PlanningError:
+            server.shutdown()
+            raise
+    except (PlanningError, DataError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    http_thread = threading.Thread(
+        target=http_server.serve_forever, daemon=True
+    )
+    http_thread.start()
+    # Readiness lines, same contract as the worker/registry daemons';
+    # the HTTP line comes second so wrappers can wait for either.
+    print(
+        f"serve listening on {server.host}:{server.port} "
+        f"(cache: {cache_dir or 'disabled'}, "
+        f"pool: {args.pool_bytes} bytes, "
+        f"auth: {'on' if secret else 'off'})",
+        flush=True,
+    )
+    print(
+        f"serve http listening on {args.host}:"
+        f"{http_server.server_address[1]}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        http_server.shutdown()
+        http_server.server_close()
+    return 0
+
+
 def _cmd_registry(args) -> int:
     from repro.sweep.registry import serve_registry
 
@@ -836,9 +894,10 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run probe suites and write BENCH_<area>.json snapshots"
     )
     p_bench_run.add_argument("--suite", action="append", default=None,
-                             choices=("plan", "sweep", "cache", "spectral"),
+                             choices=("plan", "sweep", "cache", "spectral",
+                                      "serve"),
                              help="suite area to run (repeatable; default: "
-                                  "all four)")
+                                  "all five)")
     p_bench_run.add_argument("--out", default=".", metavar="DIR",
                              help="directory for the BENCH_<area>.json "
                                   "snapshots (default: current directory)")
@@ -939,6 +998,43 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="registrations without a heartbeat "
                                        "for this long age out")
     p_registry_serve.set_defaults(func=_cmd_registry)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="planning-as-a-service daemon: frame protocol + HTTP "
+             "front door, hot in-memory artifact pool",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (both doors)")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                         help="frame-protocol TCP port (0 picks an "
+                              "ephemeral port; the resolved port is "
+                              "printed)")
+    p_serve.add_argument("--http-port", type=int,
+                         default=DEFAULT_SERVE_HTTP_PORT,
+                         help="HTTP front-door TCP port (0 picks an "
+                              "ephemeral port)")
+    p_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help="disk precomputation cache under the pool")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the disk tier (pool only)")
+    p_serve.add_argument("--secret-file", default="", metavar="PATH",
+                         help="require the HMAC handshake on frame "
+                              "connections and a derived bearer token "
+                              "on HTTP requests")
+    p_serve.add_argument("--pool-bytes", type=int,
+                         default=512 * 1024 * 1024,
+                         help="in-memory artifact pool budget in bytes "
+                              "(mirrors repro.serve.pool."
+                              "DEFAULT_POOL_BYTES; default 512 MiB)")
+    p_serve.add_argument("--idle-timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="drop frame peers idle for this long "
+                              "(0 disables the deadline)")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="standing byte budget for the disk tier; "
+                              "every store evicts LRU entries beyond it")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_removal = sub.add_parser("removal", help="Figure 1 route-removal analysis")
     _add_city_args(p_removal)

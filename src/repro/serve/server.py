@@ -1,0 +1,287 @@
+"""The ``repro serve`` daemon: long-lived planning over the frame protocol.
+
+:class:`PlanServer` extends the sweep fabric's
+:class:`~repro.sweep.remote.FrameServer` with three ops —
+
+* ``plan`` — execute one scenario through the exact
+  :func:`~repro.sweep.runner.execute_scenario` code path the CLI and
+  the sweep workers use, but against the in-memory
+  :class:`~repro.serve.pool.ArtifactPool` (disk cache second tier), so
+  a warm city answers without touching the filesystem;
+* ``stats`` — latency quantiles, RPS, and pool counters (the same
+  document the HTTP ``GET /stats`` endpoint returns);
+* ``shutdown`` — stop accepting, drop live peers, stop the planner.
+
+Determinism and the parity oracle: planning mutates shared
+precomputation state (the connectivity estimator's evaluation counter,
+the adjacency builder's lazy base matrix), so two requests planning
+concurrently against one pooled artifact would interleave that state
+non-deterministically. The server therefore runs *all* planning on one
+dedicated planner thread fed by a queue: handler threads stay free for
+pings/stats/new connections, no lock is held across the (blocking,
+linalg-heavy) planning work, and a served plan is bit-identical to the
+same ``repro plan`` invocation — which the oracle test pins.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+
+from repro.core.config import PlannerConfig
+from repro.serve.pool import (
+    DEFAULT_POOL_BYTES,
+    TIER_COMPUTED,
+    TIER_DISK,
+    TIER_POOL,
+    ArtifactPool,
+)
+from repro.serve.stats import LatencyReservoir
+from repro.sweep.cache import PrecomputationCache
+from repro.sweep.remote import (
+    DEFAULT_HOST,
+    DEFAULT_IDLE_TIMEOUT,
+    PROTOCOL_VERSION,
+    FrameServer,
+    send_frame,
+)
+from repro.sweep.report import outcome_wire_record
+from repro.sweep.runner import execute_scenario
+from repro.sweep.scenario import scenario_from_spec, scenario_spec
+from repro.utils.errors import PlanningError
+
+SERVE_SCHEMA_VERSION = 1
+"""Version of the ``plan_result`` / ``stats`` response documents."""
+
+
+class _PlanJob:
+    """One queued planning request and its reply slot."""
+
+    __slots__ = ("scenario", "base_config", "reply")
+
+    def __init__(self, scenario, base_config):
+        self.scenario = scenario
+        self.base_config = base_config
+        self.reply: "queue.Queue" = queue.Queue(maxsize=1)
+
+
+class PlanServer(FrameServer):
+    """Planning-as-a-service daemon with a hot artifact pool.
+
+    ``cache_dir`` attaches a :class:`PrecomputationCache` as the disk
+    tier under the pool (``None`` keeps artifacts memory-only);
+    ``cache_max_bytes`` puts a standing byte budget on that disk tier.
+    ``pool_bytes`` budgets the in-memory pool. The frame protocol,
+    handshake, secret, and idle-timeout semantics are inherited from
+    :class:`FrameServer` unchanged.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        secret=None,
+        cache_dir: "str | None" = None,
+        pool_bytes: int = DEFAULT_POOL_BYTES,
+        idle_timeout: "float | None" = DEFAULT_IDLE_TIMEOUT,
+        cache_max_bytes: "int | None" = None,
+    ):
+        super().__init__(
+            host=host, port=port, secret=secret, idle_timeout=idle_timeout
+        )
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        disk = (
+            PrecomputationCache(self.cache_dir, max_bytes=cache_max_bytes)
+            if self.cache_dir
+            else None
+        )
+        self.pool = ArtifactPool(disk, max_bytes=pool_bytes)
+        self.latency = LatencyReservoir()
+        self._started = time.monotonic()
+        self._jobs = queue.Queue()  # thread-safe: handler -> planner
+        self._planner_lock = threading.Lock()
+        self._planner_thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    # The single planner thread
+    # ------------------------------------------------------------------
+    def _submit(self, scenario, base_config) -> tuple:
+        """Queue one plan and wait for ``(outcome, tier)``.
+
+        Starts the planner thread lazily on first use, refuses once
+        shutdown has begun, and polls the reply queue so a handler never
+        blocks past shutdown on a plan that will not finish.
+        """
+        with self._planner_lock:
+            if self._shutdown.is_set():
+                raise PlanningError("server is shutting down")
+            if self._planner_thread is None or not self._planner_thread.is_alive():
+                self._planner_thread = threading.Thread(
+                    target=self._plan_loop, daemon=True
+                )
+                self._planner_thread.start()
+        job = _PlanJob(scenario, base_config)
+        self._jobs.put(job)
+        while True:
+            try:
+                outcome, tier, error = job.reply.get(timeout=1.0)
+                break
+            except queue.Empty:
+                if self._shutdown.is_set():
+                    raise PlanningError(
+                        "server shut down while planning"
+                    ) from None
+        if error is not None:
+            raise error
+        return outcome, tier
+
+    def _plan_loop(self) -> None:
+        """Drain plan jobs serially (see the module docstring for why)."""
+        while True:
+            job = self._jobs.get()
+            if job is None:  # shutdown sentinel
+                return
+            try:
+                before = self.pool.stats()
+                outcome = execute_scenario(
+                    job.scenario, job.base_config, cache=self.pool
+                )
+                after = self.pool.stats()
+                # Exact because planning is serialized: only this job
+                # moved the counters between the two snapshots.
+                if after["hits"] > before["hits"]:
+                    tier = TIER_POOL
+                elif after["disk_hits"] > before["disk_hits"]:
+                    tier = TIER_DISK
+                else:
+                    tier = TIER_COMPUTED
+                job.reply.put((outcome, tier, None))
+            except Exception as exc:  # noqa: BLE001 — reply, don't die
+                job.reply.put((None, None, exc))
+
+    def _stop_planner(self) -> None:
+        with self._planner_lock:
+            thread = self._planner_thread
+            self._planner_thread = None
+        if thread is not None and thread.is_alive():
+            self._jobs.put(None)
+            thread.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self._stop_planner()
+
+    # ------------------------------------------------------------------
+    # Request handling (shared by the frame and HTTP front doors)
+    # ------------------------------------------------------------------
+    def plan_request(self, doc) -> dict:
+        """Serve one plan request document; returns the response body.
+
+        ``doc`` needs ``"scenario"`` (a :func:`scenario_spec`-shaped
+        mapping) and may carry ``"base_config"`` (a full
+        :class:`PlannerConfig` field mapping). Validation failures raise
+        :class:`PlanningError`; the request latency is recorded either
+        way, so ``/stats`` reflects what clients actually experienced.
+        """
+        if not isinstance(doc, dict):
+            raise PlanningError(f"plan request must be an object, got {doc!r}")
+        started = time.perf_counter()
+        try:
+            try:
+                scenario = scenario_from_spec(doc.get("scenario"))
+                raw_config = doc.get("base_config")
+                base_config = (
+                    PlannerConfig(**raw_config)
+                    if raw_config is not None
+                    else None
+                )
+            except PlanningError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — anything malformed
+                raise PlanningError(f"bad plan request: {exc}") from None
+            outcome, tier = self._submit(scenario, base_config)
+        finally:
+            self.latency.record(time.perf_counter() - started)
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "scenario": scenario_spec(scenario),
+            "tier": tier,
+            "record": outcome_wire_record(outcome),
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` document (frame ``stats`` op returns it too)."""
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.monotonic() - self._started,
+            "cache_dir": self.cache_dir,
+            "latency": self.latency.snapshot(),
+            "pool": self.pool.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    def handle_op(self, conn: socket.socket, frame: dict) -> bool:
+        op = frame.get("op")
+        if op == "ping":
+            send_frame(conn, {
+                "op": "pong",
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "role": "serve",
+                "cache_dir": self.cache_dir,
+            })
+            return True
+        if op == "stats":
+            send_frame(conn, {"op": "stats", **self.stats()})
+            return True
+        if op == "shutdown":
+            send_frame(conn, {"op": "bye"})
+            self.shutdown()
+            return False
+        if op == "plan":
+            return self._plan_op(conn, frame)
+        send_frame(conn, {"op": "error", "error": f"unknown op {op!r}"})
+        return False
+
+    def _plan_op(self, conn: socket.socket, frame: dict) -> bool:
+        protocol = frame.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            send_frame(conn, {
+                "op": "error",
+                "error": f"protocol {protocol!r} not supported; "
+                         f"this server speaks {PROTOCOL_VERSION}",
+            })
+            return False
+        try:
+            reply = self.plan_request(frame)
+        except Exception as exc:  # noqa: BLE001 — report, close, survive
+            send_frame(conn, {"op": "error", "error": str(exc)})
+            return False
+        send_frame(conn, {"op": "plan_result", **reply})
+        return True
+
+
+def serve_plans(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    secret=None,
+    cache_dir: "str | None" = None,
+    pool_bytes: int = DEFAULT_POOL_BYTES,
+    idle_timeout: "float | None" = DEFAULT_IDLE_TIMEOUT,
+    cache_max_bytes: "int | None" = None,
+) -> PlanServer:
+    """Bind a :class:`PlanServer` (CLI helper; caller serves/loops)."""
+    try:
+        return PlanServer(
+            host=host, port=port, secret=secret, cache_dir=cache_dir,
+            pool_bytes=pool_bytes, idle_timeout=idle_timeout,
+            cache_max_bytes=cache_max_bytes,
+        )
+    except OSError as exc:
+        raise PlanningError(
+            f"cannot bind plan server to {host}:{port}: {exc}"
+        ) from None

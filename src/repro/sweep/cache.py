@@ -24,7 +24,9 @@ a commit marker and concurrent workers racing on the same key are safe.
 Entries are no longer immortal: :meth:`PrecomputationCache.evict`
 applies an LRU-by-mtime policy (``max_entries`` and/or ``max_bytes``
 budgets; cache hits touch the commit marker so recently used entries
-survive), and :meth:`PrecomputationCache.clear` empties the store.
+survive), standing budgets passed to the constructor make every
+:meth:`PrecomputationCache.store` re-apply that policy automatically,
+and :meth:`PrecomputationCache.clear` empties the store.
 Only committed pairs — a ``<32-hex-key>.json`` with its matching
 ``.npz`` — count as entries; foreign files in a shared directory are
 ignored and never deleted.
@@ -162,13 +164,25 @@ class PrecomputationCache:
     invocations: entry contents are immutable once committed, writes are
     atomic renames, and a corrupt/partial entry is treated as a miss.
     Storage is bounded on demand via :meth:`evict` (LRU by last use —
-    hits touch the commit marker) and :meth:`clear`.
+    hits touch the commit marker) and :meth:`clear`, or continuously by
+    constructing with standing ``max_bytes``/``max_entries`` budgets,
+    which every :meth:`store` re-applies after committing.
     """
 
-    def __init__(self, directory: str):
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: "int | None" = None,
+        max_entries: "int | None" = None,
+    ):
         # The directory is created lazily on first store(), so read-only
         # access (stats, entries, eviction) never mkdirs a typo'd path.
         self.directory = str(directory)
+        # Standing budgets: when set, every store() ends with an evict()
+        # pass, so the store stays bounded without an external janitor.
+        # None (the default) preserves the evict-on-demand behaviour.
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.max_entries = None if max_entries is None else int(max_entries)
         self.hits = 0
         self.misses = 0
 
@@ -259,6 +273,12 @@ class PrecomputationCache:
             os.replace(f"{tmp_prefix}.json", f"{self._prefix(key)}.json")
         finally:
             shutil.rmtree(tmp_dir, ignore_errors=True)
+        if self.max_bytes is not None or self.max_entries is not None:
+            # Write-triggered eviction: the entry just committed carries
+            # the freshest mtime, so under LRU it is the last to go —
+            # a store into a full cache evicts older entries, not itself
+            # (unless it alone exceeds the byte budget).
+            self.evict(max_entries=self.max_entries, max_bytes=self.max_bytes)
         return key
 
     def fetch_or_compute(
@@ -316,18 +336,24 @@ class PrecomputationCache:
             return []
         keep = self.entries()  # oldest first
         evicted: list[CacheEntry] = []
+        # One O(n) pass up front; each eviction then adjusts the running
+        # totals instead of re-summing the survivors (the old closure
+        # recomputed sum(e.n_bytes ...) per loop iteration — O(n^2)).
+        kept_bytes = sum(e.n_bytes for e in keep)
+        entry_budget = None if max_entries is None else max(int(max_entries), 0)
+        byte_budget = None if max_bytes is None else max(int(max_bytes), 0)
 
         def over_budget() -> bool:
-            if max_entries is not None and len(keep) > max(int(max_entries), 0):
+            if entry_budget is not None and len(keep) > entry_budget:
                 return True
-            if max_bytes is not None and sum(e.n_bytes for e in keep) > max(
-                int(max_bytes), 0
-            ):
+            if byte_budget is not None and kept_bytes > byte_budget:
                 return True
             return False
 
         while keep and over_budget():
-            evicted.append(keep.pop(0))
+            entry = keep.pop(0)
+            kept_bytes -= entry.n_bytes
+            evicted.append(entry)
         for entry in evicted:
             self._remove_entry(entry.key)
         return [e.key for e in evicted]

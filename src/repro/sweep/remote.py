@@ -146,6 +146,16 @@ as protocol corruption, not data."""
 
 DEFAULT_HOST = "127.0.0.1"
 
+DEFAULT_IDLE_TIMEOUT = 600.0
+"""Default per-connection idle timeout (seconds) for frame daemons.
+
+Bounds how long a handler blocks on the peer's *next* byte — a client
+that stalls mid-frame (slow-loris) or goes silent between requests is
+dropped instead of pinning a handler thread forever. Generous on
+purpose: a worker legitimately spends minutes planning between frames
+only on the *send* side; nothing in the protocol keeps a healthy peer
+read-silent for ten minutes."""
+
 _LENGTH = struct.Struct(">I")
 
 _NONCE_BYTES = 16
@@ -477,16 +487,40 @@ class FrameServer:
     vanished peers drop the connection; the accept loop never dies
     with them.
 
+    ``idle_timeout`` bounds every blocking socket operation on a
+    handler connection (handshake reads included): a peer that stalls
+    mid-frame or goes silent for longer is dropped, so a slow-loris
+    client cannot pin handler threads on a long-lived daemon. ``None``
+    disables the deadline (the pre-PR-10 behavior).
+
+    Open connections are tracked, and :meth:`shutdown` closes them and
+    joins their handler threads — a stopped daemon has *no* live
+    handlers, not just a stopped accept loop.
+
     ``port=0`` binds an ephemeral port; the resolved address is in
     :attr:`host` / :attr:`port` before :meth:`serve_forever` is called,
     so tests and scripts can start daemons without picking ports.
     """
 
     def __init__(
-        self, host: str = DEFAULT_HOST, port: int = 0, secret=None
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        secret=None,
+        idle_timeout: "float | None" = DEFAULT_IDLE_TIMEOUT,
     ):
         self.secret = _as_secret(secret)
+        if idle_timeout is not None:
+            idle_timeout = float(idle_timeout)
+            if idle_timeout <= 0:
+                raise PlanningError(
+                    f"idle_timeout must be > 0 or None, got {idle_timeout}"
+                )
+        self.idle_timeout = idle_timeout
         self._shutdown = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._conns: "set[socket.socket]" = set()
+        self._handlers: "set[threading.Thread]" = set()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, int(port)))
@@ -496,6 +530,12 @@ class FrameServer:
     @property
     def address(self) -> tuple:
         return (self.host, self.port)
+
+    @property
+    def n_live_connections(self) -> int:
+        """Connections with a live handler thread right now."""
+        with self._conn_lock:
+            return len(self._conns)
 
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
@@ -509,15 +549,49 @@ class FrameServer:
                     continue
                 except OSError:
                     break  # listening socket closed under us
-                threading.Thread(
+                thread = threading.Thread(
                     target=self._handle, args=(conn,), daemon=True
-                ).start()
+                )
+                with self._conn_lock:
+                    if self._shutdown.is_set():
+                        # shutdown() already swept the connection set; a
+                        # connection registered now would never be closed.
+                        conn.close()
+                        continue
+                    self._conns.add(conn)
+                    self._handlers.add(thread)
+                thread.start()
         finally:
             self._sock.close()
 
     def shutdown(self) -> None:
-        """Stop :meth:`serve_forever` (idempotent, thread-safe)."""
+        """Stop the accept loop AND drop every live handler connection.
+
+        Idempotent and thread-safe; callable from a handler thread (the
+        ``shutdown`` op does exactly that — the calling handler is
+        skipped by the join and exits through its own return path).
+        After this returns, no handler thread started by this server is
+        still serving a peer.
+        """
         self._shutdown.set()
+        with self._conn_lock:
+            conns = list(self._conns)
+            handlers = list(self._handlers)
+        for conn in conns:
+            # SHUT_RDWR unblocks a handler parked in recv() immediately;
+            # close() alone may leave it waiting for the idle timeout.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        current = threading.current_thread()
+        for thread in handlers:
+            if thread is not current:
+                thread.join(timeout=5.0)
 
     def start_in_thread(self) -> threading.Thread:
         """Run :meth:`serve_forever` on a daemon thread (test helper)."""
@@ -527,18 +601,26 @@ class FrameServer:
 
     # ------------------------------------------------------------------
     def _handle(self, conn: socket.socket) -> None:
-        with conn:
-            try:
-                if not server_handshake(conn, self.secret):
+        try:
+            with conn:
+                try:
+                    conn.settimeout(self.idle_timeout)
+                    if not server_handshake(conn, self.secret):
+                        return
+                    while True:
+                        frame = recv_frame(conn)
+                        if frame is None:
+                            return
+                        if not self.handle_op(conn, frame):
+                            return
+                except (OSError, RemoteProtocolError):
+                    # Client went away, stalled past the idle timeout,
+                    # or spoke garbage; drop it.
                     return
-                while True:
-                    frame = recv_frame(conn)
-                    if frame is None:
-                        return
-                    if not self.handle_op(conn, frame):
-                        return
-            except (OSError, RemoteProtocolError):
-                return  # client went away or spoke garbage; drop it
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+                self._handlers.discard(threading.current_thread())
 
     def handle_op(self, conn: socket.socket, frame: dict) -> bool:
         """Serve one authenticated frame; ``False`` closes the peer."""
@@ -575,13 +657,16 @@ class WorkerServer(FrameServer):
         secret=None,
         capacity: int = 1,
         advertise_host: "str | None" = None,
+        idle_timeout: "float | None" = DEFAULT_IDLE_TIMEOUT,
     ):
         capacity = int(capacity)
         if capacity < 1:
             raise PlanningError(
                 f"worker capacity must be >= 1, got {capacity}"
             )
-        super().__init__(host=host, port=port, secret=secret)
+        super().__init__(
+            host=host, port=port, secret=secret, idle_timeout=idle_timeout
+        )
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.capacity = capacity
         self.advertise_host = advertise_host or self.host

@@ -147,16 +147,22 @@ def execute_scenario(
     scenario: Scenario,
     base_config: "PlannerConfig | None" = None,
     cache_dir: "str | None" = None,
+    cache=None,
 ) -> ScenarioOutcome:
     """Run one scenario end to end (the worker entry point).
 
     Plans through :class:`CTBusPlanner` so results match serial facade
     calls exactly; the only extra moving part is the artifact cache.
+    ``cache`` passes a ready cache object (anything with the
+    ``fetch_or_compute(dataset, config)`` shape — e.g. the serving
+    layer's :class:`~repro.serve.pool.ArtifactPool`) and wins over
+    ``cache_dir``; with neither, caching is off.
     """
     with Timer() as total:
         dataset = _worker_dataset(scenario.city, scenario.profile)
         config = scenario.planner_config(base_config)
-        cache = PrecomputationCache(cache_dir) if cache_dir else None
+        if cache is None:
+            cache = PrecomputationCache(cache_dir) if cache_dir else None
         planner = CTBusPlanner(dataset, config, cache=cache)
         with Timer() as pre_t:
             planner.precomputation

@@ -13,6 +13,7 @@ not complete the handshake.
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -283,6 +284,116 @@ class TestHandshakeChaos:
             t.join()
         assert_daemon_healthy(daemon)
         assert execute_counter == []
+
+
+# ----------------------------------------------------------------------
+# Stalled peers and daemon shutdown (the long-lived-daemon bug class)
+# ----------------------------------------------------------------------
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+def authenticate(sock):
+    """Complete the full handshake on a raw socket; returns the welcome."""
+    challenge = read_challenge(sock)
+    send_frame(sock, {
+        "op": "auth", "protocol": PROTOCOL_VERSION,
+        "mac": auth_mac(SECRET, challenge["nonce"]),
+    })
+    welcome = recv_frame(sock)
+    assert welcome["op"] == "welcome"
+    return welcome
+
+
+def recv_eof(sock, timeout=5.0):
+    """True when the server has dropped us (EOF or a reset)."""
+    sock.settimeout(timeout)
+    try:
+        return sock.recv(1) == b""
+    except OSError:
+        return True  # ECONNRESET counts: the peer is gone either way
+
+
+class TestStalledPeers:
+    def test_stall_mid_frame_is_dropped_by_idle_timeout(
+        self, execute_counter
+    ):
+        """Slow-loris: an *authenticated* peer promises a frame, sends a
+        few bytes, and stalls. Without the idle timeout this pinned a
+        handler thread forever; with it the peer is dropped and the
+        handler exits."""
+        server = WorkerServer(secret=SECRET, idle_timeout=0.5)
+        server.start_in_thread()
+        try:
+            with raw_connect(server.address) as sock:
+                authenticate(sock)
+                sock.sendall(b"\x00\x00\x00\x10{\"op")  # 5 of 16 bytes
+                assert recv_eof(sock)
+            assert wait_until(lambda: server.n_live_connections == 0)
+            assert_daemon_healthy(server)
+            assert execute_counter == []
+        finally:
+            server.shutdown()
+
+    def test_stall_between_frames_is_dropped_too(self, execute_counter):
+        """An idle authenticated session past the deadline is dropped —
+        the timeout covers waiting-for-a-frame, not just mid-frame."""
+        server = WorkerServer(secret=SECRET, idle_timeout=0.5)
+        server.start_in_thread()
+        try:
+            with raw_connect(server.address) as sock:
+                authenticate(sock)
+                assert recv_eof(sock)  # sent nothing; deadline fires
+            assert wait_until(lambda: server.n_live_connections == 0)
+            assert_daemon_healthy(server)
+        finally:
+            server.shutdown()
+
+    def test_idle_timeout_validation(self):
+        from repro.utils.errors import PlanningError
+
+        with pytest.raises(PlanningError, match="idle_timeout"):
+            WorkerServer(secret=SECRET, idle_timeout=0.0)
+        with pytest.raises(PlanningError, match="idle_timeout"):
+            WorkerServer(secret=SECRET, idle_timeout=-3)
+
+    def test_shutdown_closes_live_handler_connections(self, execute_counter):
+        """Regression: shutdown() used to stop only the accept loop,
+        leaving handler threads serving peers indefinitely. It must drop
+        every live connection and join every handler thread."""
+        server = WorkerServer(secret=SECRET)
+        server.start_in_thread()
+        with raw_connect(server.address) as sock:
+            authenticate(sock)
+            assert wait_until(lambda: server.n_live_connections == 1)
+            with server._conn_lock:
+                handlers = list(server._handlers)
+            assert handlers
+            server.shutdown()
+            # The daemon hung up on us, not the other way around.
+            assert recv_eof(sock)
+        assert server.n_live_connections == 0
+        for thread in handlers:
+            assert not thread.is_alive()
+
+    def test_shutdown_op_from_peer_leaves_no_handlers(self):
+        """The in-band shutdown op runs shutdown() *on* a handler thread;
+        it must not deadlock joining itself, and no handler survives."""
+        server = WorkerServer(secret=SECRET)
+        server.start_in_thread()
+        with raw_connect(server.address) as sock:
+            authenticate(sock)
+            send_frame(sock, {"op": "shutdown"})
+            assert recv_frame(sock)["op"] == "bye"
+        assert wait_until(lambda: server.n_live_connections == 0)
+        with server._conn_lock:
+            leftover = [t for t in server._handlers if t.is_alive()]
+        assert wait_until(lambda: not any(t.is_alive() for t in leftover))
 
 
 # ----------------------------------------------------------------------

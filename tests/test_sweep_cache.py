@@ -414,6 +414,86 @@ class TestEviction:
         assert cache.clear() == 0
 
 
+class TestStandingBudget:
+    """Write-triggered eviction: budgets given to the constructor are
+    re-applied by every ``store`` (the carried-over ROADMAP item), so a
+    long-lived daemon's disk tier stays bounded without a janitor."""
+
+    def _fill(self, cache, micro, micro_config, seeds):
+        keys = []
+        for seed in seeds:
+            cfg = micro_config.variant(seed=seed)
+            cache.fetch_or_compute(micro, cfg)
+            key = cache.key_for(micro, cfg)
+            os.utime(
+                os.path.join(cache.directory, f"{key}.json"),
+                (1_000_000 + seed, 1_000_000 + seed),
+            )
+            keys.append(key)
+        return keys
+
+    def test_store_evicts_past_standing_entry_budget(
+        self, micro, micro_config, tmp_path
+    ):
+        cache = PrecomputationCache(str(tmp_path), max_entries=2)
+        keys = self._fill(cache, micro, micro_config, [1, 2])
+        assert cache.n_entries == 2
+        # The third store pushes past the budget: the oldest entry goes,
+        # the just-committed one (freshest mtime) stays.
+        cache.fetch_or_compute(micro, micro_config.variant(seed=3))
+        assert cache.n_entries == 2
+        kept = {e.key for e in cache.entries()}
+        assert keys[0] not in kept
+        assert keys[1] in kept
+        assert cache.key_for(micro, micro_config.variant(seed=3)) in kept
+
+    def test_store_evicts_past_standing_byte_budget(
+        self, micro, micro_config, tmp_path
+    ):
+        probe = PrecomputationCache(str(tmp_path / "probe"))
+        self._fill(probe, micro, micro_config, [1])
+        per_entry = probe.total_bytes
+
+        cache = PrecomputationCache(
+            str(tmp_path / "bounded"),
+            max_bytes=2 * per_entry + per_entry // 2,
+        )
+        self._fill(cache, micro, micro_config, [1, 2, 3])
+        assert cache.n_entries == 2
+        assert cache.total_bytes <= cache.max_bytes
+
+    def test_no_standing_budget_never_evicts_on_store(
+        self, micro, micro_config, tmp_path
+    ):
+        cache = PrecomputationCache(str(tmp_path))
+        assert cache.max_bytes is None and cache.max_entries is None
+        self._fill(cache, micro, micro_config, [1, 2, 3])
+        assert cache.n_entries == 3
+
+    def test_direct_store_applies_budget_too(
+        self, micro, micro_config, tmp_path
+    ):
+        # store() itself (not just fetch_or_compute's miss path) evicts.
+        cache = PrecomputationCache(str(tmp_path), max_entries=1)
+        self._fill(cache, micro, micro_config, [1])
+        pre = precompute(micro, micro_config.variant(seed=2))
+        key = cache.store(pre, micro)
+        assert [e.key for e in cache.entries()] == [key]
+
+    def test_hit_protects_entry_from_standing_eviction(
+        self, micro, micro_config, tmp_path
+    ):
+        cache = PrecomputationCache(str(tmp_path), max_entries=2)
+        keys = self._fill(cache, micro, micro_config, [1, 2])
+        # A hit touches seed=1's marker, so seed=2 is now the LRU entry
+        # and the next store evicts it instead.
+        cache.fetch_or_compute(micro, micro_config.variant(seed=1))
+        cache.fetch_or_compute(micro, micro_config.variant(seed=3))
+        kept = {e.key for e in cache.entries()}
+        assert keys[0] in kept
+        assert keys[1] not in kept
+
+
 class TestEvictStoreRace:
     """Eviction racing a concurrent ``store`` (ISSUE 4 satellite).
 
